@@ -1,0 +1,42 @@
+"""Figure 4 — dataset complexity: LID (Eq. 5) and LRC (Eq. 6), k=100.
+
+Paper shape: Pow0/Pow5/Pow50, Seismic, and Text2Img have the highest LID /
+lowest LRC (hard); Sift, Deep, and ImageNet the lowest LID / highest LRC
+(easy).
+"""
+
+import pytest
+
+from repro.datasets.complexity import dataset_complexity
+from repro.eval.reporting import Report
+
+DATASETS = (
+    "sift", "deep", "imagenet", "gist", "sald",
+    "text2img", "seismic", "randpow0", "randpow5", "randpow50",
+)
+
+
+def test_fig04_lid_lrc(benchmark, store):
+    def workload():
+        profiles = {}
+        for name in DATASETS:
+            data = store.data(name, "1M")
+            profiles[name] = dataset_complexity(
+                data, name, k=100, n_samples=150
+            )
+        return profiles
+
+    profiles = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig04_complexity")
+    report.add_table(
+        ["dataset", "mean LID", "mean LRC"],
+        [[n, profiles[n].mean_lid, profiles[n].mean_lrc] for n in DATASETS],
+        title="Figure 4: dataset complexity (k=100)",
+    )
+    report.save()
+    easy = ("sift", "deep", "imagenet")
+    hard = ("seismic", "text2img", "randpow0", "randpow5", "randpow50")
+    for e in easy:
+        for h in hard:
+            assert profiles[e].mean_lid < profiles[h].mean_lid, (e, h)
+            assert profiles[e].mean_lrc > profiles[h].mean_lrc, (e, h)

@@ -1,0 +1,91 @@
+"""Figure 5 — ND strategies on the II apparatus: recall vs distance calls.
+
+The paper applies NoND / RND / RRND(alpha=1.3) / MOND(theta=60) to the same
+incremental-insertion graph on Deep and Sift at growing sizes.  Shape to
+reproduce: RND and MOND consistently best, RRND behind them, NoND worst,
+with the gap widening as the dataset grows.
+"""
+
+import pytest
+
+from repro.core.beam_search import beam_search
+from repro.eval.metrics import recall
+from repro.eval.reporting import Report
+from repro.eval.runner import SweepPoint, calls_at_recall
+
+STRATEGIES = {
+    "NoND": ("nond", {}),
+    "RND": ("rnd", {}),
+    "RRND": ("rrnd", {"alpha": 1.3}),
+    "MOND": ("mond", {"theta_degrees": 60.0}),
+}
+DATASETS = ("deep", "sift")
+TIERS = ("1M", "25GB")
+WIDTHS = (10, 20, 40, 80, 160, 320)
+
+
+def _sweep(store, dataset, tier, diversify, params):
+    computer, built = store.ii_graph(dataset, tier, diversify, **params)
+    queries = store.queries(dataset)
+    truth = store.truth(dataset, tier, k=10)
+    entry = 0
+    curve = []
+    for width in WIDTHS:
+        recalls, calls = [], []
+        for q, gt in zip(queries, truth):
+            result = beam_search(
+                built.graph, computer, q, [entry], k=10, beam_width=width
+            )
+            recalls.append(recall(result.ids, gt))
+            calls.append(result.distance_calls)
+        curve.append(
+            SweepPoint(
+                beam_width=width,
+                recall=sum(recalls) / len(recalls),
+                distance_calls=sum(calls) / len(calls),
+                time_s=0.0,
+            )
+        )
+    return curve
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig05_nd_tradeoff(benchmark, store, dataset):
+    def workload():
+        curves = {}
+        for tier in TIERS:
+            for label, (diversify, params) in STRATEGIES.items():
+                curves[(tier, label)] = _sweep(store, dataset, tier, diversify, params)
+        return curves
+
+    curves = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report(f"fig05_nd_search_{dataset}")
+    rows = []
+    for (tier, label), curve in curves.items():
+        for point in curve:
+            rows.append(
+                [tier, label, point.beam_width, round(point.recall, 3),
+                 int(point.distance_calls)]
+            )
+    report.add_table(
+        ["tier", "ND", "beam", "recall", "dist calls"],
+        rows,
+        title=f"Figure 5: ND strategies on {dataset} (II graph, R=24)",
+    )
+    # paper shape at the larger size: diversified graphs dominate NoND
+    summary = []
+    for tier in TIERS:
+        at_target = {
+            label: calls_at_recall(curves[(tier, label)], 0.9)
+            for label in STRATEGIES
+        }
+        summary.append([tier] + [at_target[l] for l in STRATEGIES])
+    report.add_table(
+        ["tier"] + list(STRATEGIES), summary,
+        title="distance calls to reach recall 0.9 (None = unreached)",
+    )
+    report.save()
+    big = {l: calls_at_recall(curves[("25GB", l)], 0.9) for l in STRATEGIES}
+    assert big["RND"] is not None
+    if big["NoND"] is not None:
+        assert big["RND"] <= big["NoND"]

@@ -1,0 +1,87 @@
+"""Figure 6 — seed-selection strategies: distance calls at recall 0.99.
+
+The paper compares SN, KD, MD, SF, KS on an II+RND graph (the best ND
+baseline) for Deep and Sift at growing sizes, with 100-NN queries.  Shape:
+SN and KS are the most efficient everywhere; SF and MD the least; KD is
+competitive at small scale but degrades with size; KS beats SN on small
+sizes while the ranking tightens/reverses at the largest scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.beam_search import beam_search
+from repro.core.seeds import get_seed_strategy
+from repro.eval.metrics import ground_truth, recall
+from repro.eval.reporting import Report
+from repro.eval.runner import SweepPoint, calls_at_recall
+
+STRATEGIES = ("SN", "KD", "MD", "SF", "KS")
+DATASETS = ("deep", "sift")
+TIERS = ("1M", "25GB")
+K = 100
+WIDTHS = (100, 150, 250, 400, 700)
+
+
+def _sweep_strategy(store, dataset, tier, name):
+    computer, built = store.ii_graph(dataset, tier, "rnd")
+    queries = store.queries(dataset)
+    truth, _ = ground_truth(store.data(dataset, tier), queries, K)
+    strategy = get_seed_strategy(name)
+    strategy.fit(computer, built.graph, np.random.default_rng(4))
+    rng = np.random.default_rng(5)
+    curve = []
+    for width in WIDTHS:
+        recalls, calls = [], []
+        for q, gt in zip(queries, truth):
+            mark = computer.checkpoint()
+            seeds = strategy.select(q, rng)
+            result = beam_search(
+                built.graph, computer, q, seeds, k=K, beam_width=width
+            )
+            recalls.append(recall(result.ids, gt))
+            calls.append(computer.since(mark))
+        curve.append(
+            SweepPoint(
+                beam_width=width,
+                recall=float(np.mean(recalls)),
+                distance_calls=float(np.mean(calls)),
+                time_s=0.0,
+            )
+        )
+    return curve
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig06_ss_strategies(benchmark, store, dataset):
+    def workload():
+        return {
+            (tier, name): _sweep_strategy(store, dataset, tier, name)
+            for tier in TIERS
+            for name in STRATEGIES
+        }
+
+    curves = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report(f"fig06_ss_search_{dataset}")
+    rows = []
+    at_target = {}
+    for tier in TIERS:
+        for name in STRATEGIES:
+            calls = calls_at_recall(curves[(tier, name)], 0.99)
+            at_target[(tier, name)] = calls
+            rows.append([tier, name, calls])
+    report.add_table(
+        ["tier", "SS", "dist calls @ recall 0.99"],
+        rows,
+        title=f"Figure 6: seed selection on {dataset} (II+RND graph, k=100)",
+    )
+    report.save()
+    # paper shape: the best of {SN, KS} beats the worst of {SF, MD}
+    for tier in TIERS:
+        good = [at_target[(tier, s)] for s in ("SN", "KS")]
+        bad = [at_target[(tier, s)] for s in ("SF", "MD")]
+        good = [g for g in good if g is not None]
+        assert good, f"neither SN nor KS reached 0.99 on {tier}"
+        reached_bad = [b for b in bad if b is not None]
+        if reached_bad:
+            assert min(good) <= min(reached_bad) * 1.1

@@ -1,0 +1,40 @@
+"""Figure 9 — final index size (including raw data) per method.
+
+Paper shape: EFANNA, KGraph (and the methods keeping their dense k-NN
+lists) have the largest final footprints relative to graph-only methods;
+NSG's final graph is compact despite its expensive build.
+"""
+
+import pytest
+
+from conftest import TIER_METHODS
+
+from repro.eval.reporting import Report
+
+DATASET = "deep"
+TIER = "1M"
+
+
+def test_fig09_index_sizes(benchmark, store):
+    data = store.data(DATASET, TIER)
+    raw_bytes = data.nbytes
+
+    def workload():
+        return {
+            method: store.index(method, DATASET, TIER).memory_bytes()
+            for method in TIER_METHODS[TIER]
+        }
+
+    sizes = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig09_index_size")
+    report.add_table(
+        ["method", "index KiB", "index+raw KiB"],
+        [
+            [m, b // 1024, (b + raw_bytes) // 1024]
+            for m, b in sorted(sizes.items(), key=lambda kv: kv[1])
+        ],
+        title=f"Figure 9: final index size (Deep {TIER} tier, raw = {raw_bytes // 1024} KiB)",
+    )
+    report.save()
+    # EFANNA retains trees + dense k-NN lists: larger than NSG's final graph
+    assert sizes["EFANNA"] > sizes["NSG"]

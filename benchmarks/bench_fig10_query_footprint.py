@@ -1,0 +1,40 @@
+"""Figure 10 — memory footprint during query answering.
+
+Paper shape: Vamana (flat single-layer graph) and ELPIS hold the smallest
+search-time footprints; methods with auxiliary seed structures (EFANNA's
+trees, LSHAPG's tables, HNSW's layers) carry more.
+
+Footprint here is the bytes of everything a query touches: graph adjacency
+plus seed structures plus the raw vectors.
+"""
+
+import pytest
+
+from conftest import TIER_METHODS
+
+from repro.eval.reporting import Report
+
+DATASET = "deep"
+TIER = "25GB"
+
+
+def test_fig10_query_footprint(benchmark, store):
+    data = store.data(DATASET, TIER)
+
+    def workload():
+        footprints = {}
+        for method in TIER_METHODS[TIER]:
+            index = store.index(method, DATASET, TIER)
+            footprints[method] = index.memory_bytes() + data.nbytes
+        return footprints
+
+    footprints = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig10_query_footprint")
+    report.add_table(
+        ["method", "search footprint KiB"],
+        [[m, b // 1024] for m, b in sorted(footprints.items(), key=lambda kv: kv[1])],
+        title=f"Figure 10: query-time memory footprint (Deep {TIER} tier)",
+    )
+    report.save()
+    # Vamana's flat graph stays below HNSW's graph + layer stack
+    assert footprints["Vamana"] <= footprints["HNSW"]

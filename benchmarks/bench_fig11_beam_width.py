@@ -1,0 +1,56 @@
+"""Figure 11 — beam width required to reach target recall.
+
+Paper shape: ELPIS needs the smallest beam width for a given accuracy —
+its per-leaf graphs localize the search — while single-graph methods need
+wider beams as recall targets grow.
+"""
+
+import pytest
+
+from conftest import TIER_METHODS
+
+from repro.eval.reporting import Report
+from repro.eval.runner import beam_width_for_recall, sweep_beam_widths
+
+DATASET = "deep"
+TIER = "25GB"
+WIDTHS = (10, 20, 40, 80, 160, 320)
+TARGETS = (0.9, 0.95, 0.99)
+
+
+def test_fig11_beam_width(benchmark, store):
+    queries = store.queries(DATASET)
+    truth = store.truth(DATASET, TIER)
+
+    def workload():
+        widths = {}
+        for method in TIER_METHODS[TIER]:
+            index = store.index(method, DATASET, TIER)
+            curve = sweep_beam_widths(
+                index, queries, truth, k=10, beam_widths=WIDTHS
+            )
+            for target in TARGETS:
+                widths[(method, target)] = beam_width_for_recall(curve, target)
+        return widths
+
+    widths = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig11_beam_width")
+    rows = [
+        [method] + [widths[(method, t)] for t in TARGETS]
+        for method in TIER_METHODS[TIER]
+    ]
+    report.add_table(
+        ["method"] + [f"beam @ {t}" for t in TARGETS],
+        rows,
+        title=f"Figure 11: beam width needed per recall target (Deep {TIER})",
+    )
+    report.save()
+    elpis = widths[("ELPIS", 0.95)]
+    assert elpis is not None
+    others = [
+        widths[(m, 0.95)]
+        for m in TIER_METHODS[TIER]
+        if m != "ELPIS" and widths[(m, 0.95)] is not None
+    ]
+    # ELPIS is at or near the smallest required beam width (paper shape)
+    assert elpis <= min(others) * 2

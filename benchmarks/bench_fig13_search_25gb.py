@@ -1,0 +1,64 @@
+"""Figure 13 — query performance on the 25GB tier, incl. power-law data.
+
+Paper shape: SSG/NSG/NGT/HCNNG drop off relative to their 1M performance;
+ELPIS takes the overall lead (sharing it with SPTAG-BKT on SALD); on the
+power-law distributions ELPIS stays consistently strong across skewness
+levels, and search gets easier as skewness grows.
+"""
+
+import pytest
+
+from conftest import TIER_METHODS
+
+from repro.eval.reporting import Report
+from repro.eval.runner import calls_at_recall, sweep_beam_widths
+
+TIER = "25GB"
+DATASETS = ("deep", "seismic", "randpow0", "randpow50")
+WIDTHS = (10, 20, 40, 80, 160, 320)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig13_search_25gb(benchmark, store, dataset):
+    queries = store.queries(dataset)
+    truth = store.truth(dataset, TIER)
+
+    def workload():
+        curves = {}
+        for method in TIER_METHODS[TIER]:
+            index = store.index(method, dataset, TIER)
+            curves[method] = sweep_beam_widths(
+                index, queries, truth, k=10, beam_widths=WIDTHS
+            )
+        return curves
+
+    curves = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report(f"fig13_search_25gb_{dataset}")
+    rows = []
+    for method, curve in curves.items():
+        for p in curve:
+            rows.append([method, p.beam_width, round(p.recall, 3), int(p.distance_calls)])
+    report.add_table(
+        ["method", "beam", "recall", "dist calls"],
+        rows,
+        title=f"Figure 13: {dataset} ({TIER} tier)",
+    )
+    # the paper reports lower targets on Seismic (nobody exceeded 0.8)
+    target = 0.8 if dataset in ("seismic", "randpow0") else 0.95
+    at_target = {m: calls_at_recall(c, target) for m, c in curves.items()}
+    report.add_table(
+        ["method", f"dist calls @ recall {target}"],
+        sorted(
+            ([m, v] for m, v in at_target.items()),
+            key=lambda row: (row[1] is None, row[1]),
+        ),
+    )
+    report.save()
+    reached = {m: v for m, v in at_target.items() if v is not None}
+    assert reached, f"no method reached recall {target} on {dataset}"
+    if dataset in ("seismic", "randpow0", "randpow50"):
+        # paper shape on hard 25GB data: a DC method or a scalable II/ND
+        # method tops the ranking, and ELPIS reaches the target at all
+        best = min(reached, key=reached.get)
+        assert best in {"ELPIS", "SPTAG-BKT", "HNSW", "Vamana", "NSG"}, best
+        assert "ELPIS" in reached

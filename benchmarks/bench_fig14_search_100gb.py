@@ -1,0 +1,46 @@
+"""Figure 14 — query performance on the 100GB tier.
+
+Paper shape: only HNSW, ELPIS, and Vamana scale this far; HNSW and ELPIS
+consistently rank top (Figure 18's large-dataset recommendation).
+"""
+
+import pytest
+
+from conftest import TIER_METHODS
+
+from repro.eval.reporting import Report
+from repro.eval.runner import calls_at_recall, sweep_beam_widths
+
+TIER = "100GB"
+DATASET = "deep"
+WIDTHS = (10, 20, 40, 80, 160, 320, 640)
+
+
+def test_fig14_search_100gb(benchmark, store):
+    queries = store.queries(DATASET)
+    truth = store.truth(DATASET, TIER)
+
+    def workload():
+        return {
+            method: sweep_beam_widths(
+                store.index(method, DATASET, TIER), queries, truth,
+                k=10, beam_widths=WIDTHS,
+            )
+            for method in TIER_METHODS[TIER]
+        }
+
+    curves = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig14_search_100gb")
+    rows = []
+    for method, curve in curves.items():
+        for p in curve:
+            rows.append([method, p.beam_width, round(p.recall, 3), int(p.distance_calls)])
+    report.add_table(
+        ["method", "beam", "recall", "dist calls"],
+        rows,
+        title=f"Figure 14: Deep ({TIER} tier)",
+    )
+    report.save()
+    at95 = {m: calls_at_recall(c, 0.95) for m, c in curves.items()}
+    reached = {m: v for m, v in at95.items() if v is not None}
+    assert "HNSW" in reached or "ELPIS" in reached

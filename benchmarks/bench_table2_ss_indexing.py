@@ -1,0 +1,79 @@
+"""Table 2 — SS impact on indexing: SN-based vs KS-based construction.
+
+The paper builds the same II+RND graph with SN and with KS build-time seed
+selection on Deep 1M and 25GB, reporting the extra distance calculations SN
+incurs and how many 100-NN queries (at 0.99 recall) KS's savings would
+fund.  Shape: SN costs measurably more at both sizes, and the overhead
+grows with dataset size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import (
+    RandomBuildSeeds,
+    StackedNSWBuildSeeds,
+    build_ii_graph,
+)
+from repro.eval.reporting import Report
+
+DATASET = "deep"
+TIERS = ("1M", "25GB")
+#: distance calls of one 100-NN query at 0.99 recall — taken from the
+#: Figure 6 sweep at this scale; used to amortize the SN overhead.
+CALLS_PER_QUERY = 2_000
+
+
+def _build_calls(store, tier, provider_factory):
+    computer = DistanceComputer(store.data(DATASET, tier))
+    result = build_ii_graph(
+        computer,
+        max_degree=24,
+        beam_width=96,
+        diversify="rnd",
+        rng=np.random.default_rng(13),
+        build_seeds=provider_factory(),
+        track_pruning=False,
+    )
+    return result.distance_calls
+
+
+def test_table2_ss_indexing_cost(benchmark, store):
+    def workload():
+        out = {}
+        for tier in TIERS:
+            out[(tier, "KS")] = _build_calls(
+                store, tier, lambda: RandomBuildSeeds(n_seeds=4)
+            )
+            out[(tier, "SN")] = _build_calls(
+                store, tier, lambda: StackedNSWBuildSeeds(max_degree=16)
+            )
+        return out
+
+    calls = benchmark.pedantic(workload, rounds=1, iterations=1)
+    report = Report("table2_ss_indexing")
+    rows = []
+    overheads = {}
+    for tier in TIERS:
+        overhead = calls[(tier, "SN")] - calls[(tier, "KS")]
+        overheads[tier] = overhead
+        rows.append(
+            [
+                tier,
+                calls[(tier, "SN")],
+                calls[(tier, "KS")],
+                overhead,
+                overhead // CALLS_PER_QUERY,
+            ]
+        )
+    report.add_table(
+        ["tier", "dist calls (SN)", "dist calls (KS)",
+         "overhead (SN vs KS)", "additional 100-NN queries"],
+        rows,
+        title="Table 2: SS impact on indexing (Deep)",
+    )
+    report.save()
+    for tier in TIERS:
+        assert overheads[tier] > 0, f"SN should cost more than KS on {tier}"
+    assert overheads["25GB"] > overheads["1M"]

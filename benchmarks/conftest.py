@@ -1,0 +1,119 @@
+"""Shared benchmark infrastructure.
+
+Every bench module regenerates one table or figure of the paper.  Builds
+are expensive, so a session-wide store caches datasets, ground truths, and
+built indexes under stable keys; bench modules that share artifacts (e.g.
+Figures 7-9 all need the same builds) pay for them once.
+
+Environment knobs:
+
+* ``REPRO_SCALE``   — multiplies every tier's point count (default 1.0).
+* ``REPRO_QUERIES`` — queries per workload (default 10; the paper uses 100).
+* ``REPRO_RESULTS_DIR`` — where text reports are archived
+  (default ``benchmarks/results``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import build_ii_graph
+from repro.datasets.synthetic import generate, tier_size
+from repro.eval.metrics import ground_truth
+from repro.indexes import create_index
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+N_QUERIES = int(os.environ.get("REPRO_QUERIES", "10"))
+
+#: Methods per tier, mirroring the paper's scalability exclusions (§4.4-4.5):
+#: every method runs at 1M; methods that could not build 25GB+ indexes in
+#: the paper are dropped at the same relative points here.
+TIER_METHODS: dict[str, tuple[str, ...]] = {
+    "1M": (
+        "HNSW", "NSG", "SSG", "Vamana", "DPG", "EFANNA", "HCNNG", "KGraph",
+        "NGT", "SPTAG-BKT", "SPTAG-KDT", "ELPIS", "LSHAPG",
+    ),
+    "25GB": ("HNSW", "NSG", "SSG", "Vamana", "SPTAG-BKT", "ELPIS"),
+    "100GB": ("HNSW", "Vamana", "ELPIS"),
+    "1B": ("HNSW", "Vamana", "ELPIS"),
+}
+
+#: Construction parameters: modest degrees/beams for the scaled-down tiers
+#: (the paper's R=60 / L=800 target 100M-1B points).
+BUILD_PARAMS: dict[str, dict] = {
+    "HNSW": {"max_degree": 24, "ef_construction": 64},
+    "Vamana": {"max_degree": 24, "build_beam_width": 64, "prune_pool_size": 96, "alpha": 1.3},
+    "NSG": {"max_degree": 24, "build_beam_width": 48},
+    "SSG": {"max_degree": 24, "theta_degrees": 60.0},
+    "ELPIS": {"max_degree": 16, "ef_construction": 48, "nprobe": 4},
+    "SPTAG-BKT": {"k_neighbors": 16, "n_partitions": 3, "leaf_size": 200},
+    "SPTAG-KDT": {"k_neighbors": 16, "n_partitions": 3, "leaf_size": 200},
+    "HCNNG": {"n_clusterings": 8, "min_cluster_size": 64},
+    "DPG": {"k_neighbors": 16},
+    "KGraph": {"k_neighbors": 20},
+    "EFANNA": {"k_neighbors": 20},
+    "NGT": {"k_neighbors": 16, "max_degree": 24},
+    "LSHAPG": {"max_degree": 24, "ef_construction": 64},
+}
+
+
+class Store:
+    """Session-wide cache for datasets, truths, builds, and II graphs."""
+
+    def __init__(self):
+        self._cache: dict = {}
+
+    def data(self, dataset: str, tier: str) -> np.ndarray:
+        key = ("data", dataset, tier)
+        if key not in self._cache:
+            self._cache[key] = generate(dataset, tier_size(tier, SCALE), seed=7)
+        return self._cache[key]
+
+    def queries(self, dataset: str, n: int = N_QUERIES) -> np.ndarray:
+        key = ("queries", dataset, n)
+        if key not in self._cache:
+            self._cache[key] = generate(dataset, n, seed=7_777_777)
+        return self._cache[key]
+
+    def truth(self, dataset: str, tier: str, k: int = 10) -> np.ndarray:
+        key = ("truth", dataset, tier, k)
+        if key not in self._cache:
+            ids, _ = ground_truth(
+                self.data(dataset, tier), self.queries(dataset), k
+            )
+            self._cache[key] = ids
+        return self._cache[key]
+
+    def index(self, method: str, dataset: str, tier: str):
+        key = ("index", method, dataset, tier)
+        if key not in self._cache:
+            params = BUILD_PARAMS.get(method, {})
+            index = create_index(method, seed=11, **params)
+            index.build(self.data(dataset, tier))
+            self._cache[key] = index
+        return self._cache[key]
+
+    def ii_graph(self, dataset: str, tier: str, diversify: str, **params):
+        """The Section 4.2/4.3 apparatus: one II graph per ND strategy."""
+        key = ("ii", dataset, tier, diversify, tuple(sorted(params.items())))
+        if key not in self._cache:
+            computer = DistanceComputer(self.data(dataset, tier))
+            result = build_ii_graph(
+                computer,
+                max_degree=24,
+                beam_width=96,
+                diversify=diversify,
+                diversify_params=params,
+                rng=np.random.default_rng(11),
+            )
+            self._cache[key] = (computer, result)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def store() -> Store:
+    return Store()

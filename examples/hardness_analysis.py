@@ -1,0 +1,34 @@
+"""Characterize dataset hardness and get a method recommendation.
+
+Reproduces the paper's Figure 4 analysis (LID / LRC) on any generated
+dataset, then applies the Figure 18 decision tree.
+
+Run:  python examples/hardness_analysis.py
+"""
+
+from repro import dataset_complexity, generate, recommend
+from repro.eval.recommend import HARD_DATASETS
+
+DATASETS = ("sift", "deep", "imagenet", "sald", "gist", "text2img", "seismic", "randpow0")
+N = 2000
+
+
+def main() -> None:
+    print(f"{'dataset':10s} {'mean LID':>9s} {'mean LRC':>9s}  {'hard?':5s}  recommended methods")
+    for name in DATASETS:
+        data = generate(name, N, seed=1)
+        profile = dataset_complexity(data, name, k=100, n_samples=150)
+        hard = name in HARD_DATASETS
+        rec = recommend(N, hard=hard, large_threshold=10 * N)
+        print(
+            f"{name:10s} {profile.mean_lid:9.2f} {profile.mean_lrc:9.2f}  "
+            f"{'yes' if hard else 'no':5s}  {', '.join(rec.methods)}"
+        )
+    print(
+        "\nLower LID and higher LRC mean easier search (paper, Figure 4). "
+        "Hard datasets favor divide-and-conquer methods (Figure 18)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Compare several methods' recall/efficiency tradeoffs on one dataset.
+
+A scaled-down rendition of the paper's Figure 12 protocol: build each
+method once, sweep the query beam width, and print the tradeoff curve
+of recall vs distance calculations.
+
+Run:  python examples/method_comparison.py [dataset] [n_points]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import create_index, generate, ground_truth, sweep_beam_widths
+from repro.eval.reporting import format_table
+
+METHODS = ("HNSW", "NSG", "Vamana", "ELPIS", "SPTAG-BKT", "KGraph")
+BEAM_WIDTHS = (10, 20, 40, 80, 160)
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "sift"
+    n_points = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    data = generate(dataset, n_points, seed=0)
+    queries = generate(dataset, 10, seed=999)
+    truth, _ = ground_truth(data, queries, 10)
+    print(f"dataset={dataset} n={n_points} d={data.shape[1]}\n")
+
+    rows = []
+    for name in METHODS:
+        index = create_index(name, seed=1).build(data)
+        curve = sweep_beam_widths(index, queries, truth, k=10, beam_widths=BEAM_WIDTHS)
+        for point in curve:
+            rows.append(
+                [
+                    name,
+                    point.beam_width,
+                    round(point.recall, 3),
+                    int(point.distance_calls),
+                    round(1000 * point.time_s, 2),
+                ]
+            )
+        best = max(curve, key=lambda p: p.recall)
+        print(
+            f"{name:10s} build {index.build_report.wall_time_s:6.1f}s "
+            f"({index.build_report.distance_calls:>10,} dc)  "
+            f"best recall {best.recall:.3f}"
+        )
+
+    print()
+    print(
+        format_table(
+            ["method", "beam", "recall", "dist calls", "ms/query"],
+            rows,
+            title="recall / distance-calculation tradeoff",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: build an index, search it, check the answer quality.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import create_index, generate, ground_truth, recall
+
+N_POINTS = 3000
+N_QUERIES = 10
+K = 10
+
+
+def main() -> None:
+    # 1. Get vectors: a difficulty-matched stand-in for the paper's Deep1B.
+    data = generate("deep", N_POINTS, seed=0)
+    queries = generate("deep", N_QUERIES, seed=123)
+    print(f"dataset: {data.shape[0]} vectors x {data.shape[1]} dims")
+
+    # 2. Build a graph index.  Any paper method name works here:
+    #    HNSW, NSG, Vamana, ELPIS, SPTAG-BKT, HCNNG, ...
+    index = create_index("HNSW", seed=1).build(data)
+    report = index.build_report
+    print(
+        f"built {index.name} in {report.wall_time_s:.2f}s "
+        f"({report.distance_calls:,} distance calculations, "
+        f"{index.memory_bytes() / 1024:.0f} KiB)"
+    )
+
+    # 3. Answer queries and compare to exact ground truth.
+    truth, _ = ground_truth(data, queries, K)
+    recalls, calls = [], []
+    for query, true_ids in zip(queries, truth):
+        result = index.search(query, k=K, beam_width=64)
+        recalls.append(recall(result.ids, true_ids))
+        calls.append(result.distance_calls)
+    print(
+        f"recall@{K}: {np.mean(recalls):.3f}  "
+        f"(mean {np.mean(calls):.0f} distance calculations per query, "
+        f"vs {N_POINTS} for a serial scan)"
+    )
+
+
+if __name__ == "__main__":
+    main()

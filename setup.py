@@ -1,0 +1,18 @@
+"""Legacy setup shim: keeps `pip install -e .` working without network
+access (the environment lacks the `wheel` package required by PEP 660
+editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Graph-based vector search: reproduction of the SIGMOD 2025 "
+        "experimental evaluation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

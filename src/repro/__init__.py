@@ -1,0 +1,60 @@
+"""repro — graph-based vector search, reproduced.
+
+A from-scratch Python implementation of the systems evaluated in
+*"Graph-Based Vector Search: An Experimental Evaluation of the
+State-of-the-Art"* (Azizi, Echihabi, Palpanas; SIGMOD 2025): the beam-search
+core, the five design paradigms (seed selection, neighborhood propagation,
+incremental insertion, neighborhood diversification, divide-and-conquer),
+the twelve state-of-the-art methods, their substrates, and the evaluation
+harness regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import create_index, generate
+>>> data = generate("deep", 2000)
+>>> index = create_index("HNSW").build(data)
+>>> result = index.search(data[0], k=10)
+>>> int(result.ids[0])
+0
+"""
+
+from __future__ import annotations
+
+from .core.beam_search import SearchResult, beam_search
+from .core.distances import DistanceComputer
+from .core.diversification import DIVERSIFIERS, get_diversifier
+from .core.graph import Graph
+from .core.incremental import build_ii_graph
+from .core.seeds import SEED_STRATEGIES, get_seed_strategy
+from .datasets.complexity import dataset_complexity
+from .datasets.synthetic import DATASET_GENERATORS, generate, tier_size
+from .eval.metrics import ground_truth, recall
+from .eval.recommend import recommend
+from .eval.runner import sweep_beam_widths
+from .indexes import METHOD_REGISTRY, create_index
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistanceComputer",
+    "Graph",
+    "SearchResult",
+    "beam_search",
+    "build_ii_graph",
+    "get_diversifier",
+    "DIVERSIFIERS",
+    "get_seed_strategy",
+    "SEED_STRATEGIES",
+    "generate",
+    "tier_size",
+    "DATASET_GENERATORS",
+    "dataset_complexity",
+    "recall",
+    "ground_truth",
+    "sweep_beam_widths",
+    "recommend",
+    "create_index",
+    "METHOD_REGISTRY",
+    "__version__",
+]

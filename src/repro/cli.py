@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``methods``
+    List every registered method with its paradigm tags.
+``datasets``
+    List the dataset stand-ins with their difficulty profiles.
+``demo``
+    Build one method on one dataset and report build cost + query recall.
+``complexity``
+    Print the LID/LRC hardness profile of a dataset (Figure 4 style).
+``recommend``
+    Apply the Figure 18 decision tree to a dataset size / hardness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+#: Paradigm tags per method (Figure 3's taxonomy).
+_PARADIGMS = {
+    "KGraph": "NP",
+    "NSW": "II",
+    "HNSW": "II+ND(RND)+SS(SN)",
+    "EFANNA": "NP+SS(KD)",
+    "DPG": "NP+ND(MOND)",
+    "NGT": "NP+ND(RND)+SS(VPTree)",
+    "NSG": "NP-base+ND(RND)+SS(MD,KS)",
+    "SSG": "NP-base+ND(MOND)+SS(KS)",
+    "Vamana": "ND(RRND,RND)+SS(MD,KS)",
+    "SPTAG-KDT": "DC+ND(RND)+SS(KD)",
+    "SPTAG-BKT": "DC+ND(RND)+SS(KM)",
+    "HCNNG": "DC+SS(KD)",
+    "ELPIS": "DC+II+ND(RND)",
+    "LSHAPG": "II+ND(RND)+SS(LSH)",
+    "IEH": "NP+SS(LSH)",
+    "IVF-Flat": "inverted index (survey family)",
+    "IVF-PQ": "inverted index + product quantization",
+    "BruteForce": "exact baseline",
+}
+
+
+def _cmd_methods(args) -> int:
+    from .indexes import METHOD_REGISTRY
+
+    for name in sorted(METHOD_REGISTRY):
+        print(f"{name:11s} {_PARADIGMS.get(name, '')}")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from .datasets.synthetic import DATASET_GENERATORS
+    from .eval.recommend import HARD_DATASETS
+
+    for name, spec in DATASET_GENERATORS.items():
+        hard = "hard" if name in HARD_DATASETS else "easy"
+        print(f"{name:10s} d={spec.dim:<4d} {hard}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .datasets.synthetic import generate
+    from .eval.metrics import ground_truth
+    from .eval.runner import run_workload
+    from .indexes import create_index
+
+    data = generate(args.dataset, args.n, seed=args.seed)
+    queries = generate(args.dataset, args.queries, seed=args.seed + 1)
+    truth, _ = ground_truth(data, queries, args.k)
+    index = create_index(args.method, seed=args.seed).build(data)
+    print(
+        f"built {index.name} on {args.dataset} (n={args.n}): "
+        f"{index.build_report.wall_time_s:.1f}s, "
+        f"{index.build_report.distance_calls:,} distance calls, "
+        f"{index.memory_bytes() // 1024} KiB"
+    )
+    measurement = run_workload(index, queries, truth, args.k, args.beam_width)
+    print(
+        f"recall@{args.k}: {measurement.recall:.3f}  "
+        f"mean distance calls/query: {measurement.mean_distance_calls:.0f}  "
+        f"mean latency: {1000 * measurement.mean_time_s:.2f} ms"
+    )
+    return 0
+
+
+def _cmd_complexity(args) -> int:
+    from .datasets.complexity import dataset_complexity
+    from .datasets.synthetic import generate
+
+    data = generate(args.dataset, args.n, seed=args.seed)
+    profile = dataset_complexity(data, args.dataset, k=min(100, args.n - 1))
+    print(f"{args.dataset}: mean LID {profile.mean_lid:.2f}  mean LRC {profile.mean_lrc:.2f}")
+    print("lower LID / higher LRC = easier search (paper, Figure 4)")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from .eval.recommend import recommend
+
+    rec = recommend(args.n, hard=args.hard)
+    print("recommended:", ", ".join(rec.methods))
+    print(rec.rationale)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Graph-based vector search reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list registered methods").set_defaults(
+        func=_cmd_methods
+    )
+    sub.add_parser("datasets", help="list dataset stand-ins").set_defaults(
+        func=_cmd_datasets
+    )
+
+    demo = sub.add_parser("demo", help="build + query one method")
+    demo.add_argument("--method", default="HNSW")
+    demo.add_argument("--dataset", default="deep")
+    demo.add_argument("--n", type=int, default=3000)
+    demo.add_argument("--queries", type=int, default=10)
+    demo.add_argument("--k", type=int, default=10)
+    demo.add_argument("--beam-width", type=int, default=64)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    comp = sub.add_parser("complexity", help="LID/LRC hardness profile")
+    comp.add_argument("--dataset", default="deep")
+    comp.add_argument("--n", type=int, default=2000)
+    comp.add_argument("--seed", type=int, default=0)
+    comp.set_defaults(func=_cmd_complexity)
+
+    rec = sub.add_parser("recommend", help="Figure 18 decision tree")
+    rec.add_argument("--n", type=int, required=True)
+    rec.add_argument("--hard", action="store_true")
+    rec.set_defaults(func=_cmd_recommend)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

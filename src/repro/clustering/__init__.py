@@ -1,0 +1,1 @@
+"""clustering subpackage of the repro library."""

@@ -1,0 +1,65 @@
+"""Random hierarchical clustering — HCNNG's dataset divider.
+
+HCNNG (Section 3.6) repeatedly divides the dataset with *random* hierarchical
+clusterings: at each level two random pivot points are drawn and every point
+joins the side of its nearer pivot, recursing until clusters reach
+``min_cluster_size``.  Repeating the division with fresh randomness yields
+overlapping cluster systems whose per-cluster MSTs are merged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distances import DistanceComputer
+
+__all__ = ["random_bisection_clusters"]
+
+
+def random_bisection_clusters(
+    computer: DistanceComputer,
+    min_cluster_size: int,
+    rng: np.random.Generator,
+    ids: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """One random hierarchical division of ``ids`` into small clusters.
+
+    Parameters
+    ----------
+    computer:
+        Distance engine (pivot assignments are counted distance work).
+    min_cluster_size:
+        Recursion stops when a cluster has at most this many points.
+    rng:
+        Randomness for pivot choices.
+    ids:
+        Subset to divide; the whole dataset when omitted.
+
+    Returns
+    -------
+    list of id arrays, each of size ``<= min_cluster_size`` (modulo
+    degenerate splits, which are halved arbitrarily).
+    """
+    if min_cluster_size < 2:
+        raise ValueError("min_cluster_size must be >= 2")
+    if ids is None:
+        ids = np.arange(computer.n, dtype=np.int64)
+    ids = np.asarray(ids, dtype=np.int64)
+    clusters: list[np.ndarray] = []
+    stack: list[np.ndarray] = [ids]
+    while stack:
+        current = stack.pop()
+        if current.size <= min_cluster_size:
+            clusters.append(current)
+            continue
+        picks = rng.choice(current.size, size=2, replace=False)
+        pivot_a, pivot_b = int(current[picks[0]]), int(current[picks[1]])
+        dist_a = computer.one_to_many(pivot_a, current)
+        dist_b = computer.one_to_many(pivot_b, current)
+        side_a = dist_a <= dist_b
+        if side_a.all() or not side_a.any():  # duplicate pivots; halve
+            side_a = np.zeros(current.size, dtype=bool)
+            side_a[: current.size // 2] = True
+        stack.append(current[side_a])
+        stack.append(current[~side_a])
+    return clusters

@@ -1,0 +1,146 @@
+"""k-means and balanced k-means clustering.
+
+Substrate for the Balanced K-means Trees used by SPTAG-BKT (Section 3.3,
+strategy "KM") and for codebook training in the quantization summarizers.
+The balanced variant follows Malinen & Fränti's size-constrained assignment:
+points are assigned in order of their assignment cost so that no cluster
+exceeds ``ceil(n / k)`` members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans", "balanced_kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Clustering outcome: centroids, per-point labels, inertia, iterations."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _init_centroids(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ style seeding (distance-proportional sampling)."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest_sq = ((data - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            pick = int(rng.integers(n))
+        else:
+            pick = int(rng.choice(n, p=closest_sq / total))
+        centroids[i] = data[pick]
+        cand_sq = ((data - centroids[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, cand_sq, out=closest_sq)
+    return centroids
+
+
+def _assignment_distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    sq = (
+        (data**2).sum(axis=1)[:, None]
+        - 2.0 * (data @ centroids.T)
+        + (centroids**2).sum(axis=1)[None, :]
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return sq
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 25,
+    tol: float = 1e-4,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Empty clusters are re-seeded from the point farthest from its centroid.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    centroids = _init_centroids(data, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    prev_inertia = np.inf
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        sq = _assignment_distances(data, centroids)
+        labels = sq.argmin(axis=1)
+        inertia = float(sq[np.arange(n), labels].sum())
+        for cluster in range(k):
+            members = labels == cluster
+            if members.any():
+                centroids[cluster] = data[members].mean(axis=0)
+            else:
+                farthest = int(sq[np.arange(n), labels].argmax())
+                centroids[cluster] = data[farthest]
+                labels[farthest] = cluster
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
+            break
+        prev_inertia = inertia
+    sq = _assignment_distances(data, centroids)
+    labels = sq.argmin(axis=1)
+    inertia = float(sq[np.arange(n), labels].sum())
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia, iterations=iterations)
+
+
+def balanced_kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 25,
+) -> KMeansResult:
+    """Size-constrained k-means: no cluster exceeds ``ceil(n / k)`` points.
+
+    Assignment sweeps points in order of how much they would regret not
+    getting their closest centroid, granting each its best still-open
+    cluster — the greedy form of Malinen & Fränti's balanced k-means used
+    by SPTAG's BKT.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    cap = -(-n // k)  # ceil
+    centroids = _init_centroids(data, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        sq = _assignment_distances(data, centroids)
+        # regret = cost of second choice minus cost of first choice
+        order2 = np.partition(sq, 1, axis=1)
+        regret = order2[:, 1] - order2[:, 0]
+        counts = np.zeros(k, dtype=np.int64)
+        new_labels = np.full(n, -1, dtype=np.int64)
+        for point in np.argsort(-regret, kind="stable"):
+            for cluster in np.argsort(sq[point], kind="stable"):
+                if counts[cluster] < cap:
+                    new_labels[point] = cluster
+                    counts[cluster] += 1
+                    break
+        if (new_labels == labels).all() and iterations > 1:
+            labels = new_labels
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = labels == cluster
+            if members.any():
+                centroids[cluster] = data[members].mean(axis=0)
+    sq = _assignment_distances(data, centroids)
+    inertia = float(sq[np.arange(n), labels].sum())
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia, iterations=iterations)

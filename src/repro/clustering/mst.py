@@ -1,0 +1,95 @@
+"""Minimum spanning trees with degree caps — HCNNG's per-cluster graphs.
+
+HCNNG (Section 3.6) builds one MST per cluster of each random hierarchical
+clustering and merges all MST edges into the final graph.  Following the
+original method, the MST is degree-bounded: an edge is skipped when either
+endpoint already reached ``max_degree``, which keeps the merged graph sparse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distances import DistanceComputer
+
+__all__ = ["mst_edges", "degree_bounded_mst"]
+
+
+def mst_edges(
+    computer: DistanceComputer, ids: np.ndarray
+) -> list[tuple[int, int, float]]:
+    """Exact MST of the complete Euclidean graph over ``ids`` (Prim).
+
+    Distances are evaluated (and counted) as a dense block, matching how
+    HCNNG computes per-cluster MSTs on small leaves.  Returns edges as
+    ``(id_a, id_b, distance)`` triples.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    m = ids.size
+    if m <= 1:
+        return []
+    dists = computer.many_to_many(ids, ids)
+    in_tree = np.zeros(m, dtype=bool)
+    in_tree[0] = True
+    best_dist = dists[0].copy()
+    best_from = np.zeros(m, dtype=np.int64)
+    best_dist[0] = np.inf
+    edges: list[tuple[int, int, float]] = []
+    for _ in range(m - 1):
+        nxt = int(np.argmin(np.where(in_tree, np.inf, best_dist)))
+        edges.append((int(ids[best_from[nxt]]), int(ids[nxt]), float(best_dist[nxt])))
+        in_tree[nxt] = True
+        improved = dists[nxt] < best_dist
+        improved &= ~in_tree
+        best_dist[improved] = dists[nxt][improved]
+        best_from[improved] = nxt
+    return edges
+
+
+def degree_bounded_mst(
+    computer: DistanceComputer,
+    ids: np.ndarray,
+    max_degree: int = 3,
+) -> list[tuple[int, int]]:
+    """Kruskal-style MST that skips edges saturating a ``max_degree`` cap.
+
+    This is HCNNG's variant: edges are considered in ascending weight; an
+    edge joining two components is accepted only while both endpoints are
+    below the cap.  The result is a spanning forest whose components are
+    usually one tree, with every node's degree at most ``max_degree``.
+    """
+    if max_degree < 1:
+        raise ValueError("max_degree must be >= 1")
+    ids = np.asarray(ids, dtype=np.int64)
+    m = ids.size
+    if m <= 1:
+        return []
+    dists = computer.many_to_many(ids, ids)
+    iu = np.triu_indices(m, k=1)
+    order = np.argsort(dists[iu], kind="stable")
+    parent = np.arange(m)
+
+    def find(x: int) -> int:
+        """Union-find root with path halving."""
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    degree = np.zeros(m, dtype=np.int64)
+    edges: list[tuple[int, int]] = []
+    for idx in order:
+        a = int(iu[0][idx])
+        b = int(iu[1][idx])
+        if degree[a] >= max_degree or degree[b] >= max_degree:
+            continue
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            continue
+        parent[root_a] = root_b
+        degree[a] += 1
+        degree[b] += 1
+        edges.append((int(ids[a]), int(ids[b])))
+        if len(edges) == m - 1:
+            break
+    return edges

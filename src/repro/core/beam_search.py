@@ -1,0 +1,171 @@
+"""Beam search over a proximity graph (Algorithm 1 of the paper).
+
+Every method in the study answers queries with the same greedy best-first
+traversal: warm a fixed-capacity queue with seed nodes, repeatedly expand the
+closest unexpanded node, score its neighbors in one vectorized batch, and
+stop when the queue holds no unexpanded node closer than the current ``L``-th
+best.  Methods differ only in the graph they traverse and the seeds they
+start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .distances import DistanceComputer
+from .graph import Graph
+from .heap import NeighborQueue
+
+__all__ = ["SearchResult", "beam_search", "greedy_search"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one graph traversal.
+
+    Attributes
+    ----------
+    ids, dists:
+        The ``k`` best answers found, ascending by distance.
+    distance_calls:
+        Distance calculations attributable to this search.
+    hops:
+        Number of node expansions performed.
+    visited, visited_dists:
+        Ids (and distances) of every node whose distance was evaluated, in
+        evaluation order — builders that connect a new node to its visited
+        list (NSG, Vamana) consume these without re-scoring.
+    """
+
+    ids: np.ndarray
+    dists: np.ndarray
+    distance_calls: int
+    hops: int
+    visited: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    visited_dists: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+
+
+def beam_search(
+    graph: Graph,
+    computer: DistanceComputer,
+    query: np.ndarray,
+    seeds,
+    k: int,
+    beam_width: int,
+    visited_mask: np.ndarray | None = None,
+) -> SearchResult:
+    """Run Algorithm 1 and return the ``k`` best answers.
+
+    Parameters
+    ----------
+    graph:
+        Proximity graph to traverse.
+    computer:
+        Distance engine over the dataset the graph indexes.
+    query:
+        Query vector of the dataset's dimensionality.
+    seeds:
+        Iterable of node ids used to warm the queue; the closest becomes the
+        entry node.
+    k:
+        Number of answers to return.
+    beam_width:
+        Queue capacity ``L`` (must be ``>= k``).
+    visited_mask:
+        Optional pre-allocated ``bool`` scratch array of length ``n``; it is
+        cleared on entry.  Passing one avoids reallocation in tight loops.
+    """
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    mark = computer.checkpoint()
+    if visited_mask is None:
+        visited_mask = np.zeros(graph.n, dtype=bool)
+    else:
+        visited_mask[:] = False
+
+    seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seeds.size == 0:
+        raise ValueError("at least one seed is required")
+    queue = NeighborQueue(beam_width)
+    visit_order: list[np.ndarray] = []
+    visit_dists: list[np.ndarray] = []
+    q64, q_sq = computer.prepare_query(query)
+
+    seed_dists = computer.to_query_prepared(seeds, q64, q_sq)
+    visited_mask[seeds] = True
+    visit_order.append(seeds)
+    visit_dists.append(seed_dists)
+    for dist, node in zip(seed_dists.tolist(), seeds.tolist()):
+        queue.insert(dist, node)
+
+    hops = 0
+    while True:
+        node = queue.pop_nearest_unexpanded()
+        if node is None:
+            break
+        hops += 1
+        nbrs = graph.neighbors(node)
+        if nbrs.size:
+            fresh = nbrs[~visited_mask[nbrs]]
+            if fresh.size:
+                visited_mask[fresh] = True
+                visit_order.append(fresh)
+                dists = computer.to_query_prepared(fresh, q64, q_sq)
+                visit_dists.append(dists)
+                bound = queue.worst_dist()
+                for dist, nbr in zip(dists.tolist(), fresh.tolist()):
+                    if dist < bound:
+                        queue.insert(dist, nbr)
+                        bound = queue.worst_dist()
+
+    ids, dists = queue.top_k(k)
+    visited = (
+        np.concatenate(visit_order) if visit_order else np.empty(0, dtype=np.int64)
+    )
+    visited_d = (
+        np.concatenate(visit_dists) if visit_dists else np.empty(0, dtype=np.float64)
+    )
+    return SearchResult(
+        ids=ids,
+        dists=dists,
+        distance_calls=computer.since(mark),
+        hops=hops,
+        visited=visited,
+        visited_dists=visited_d,
+    )
+
+
+def greedy_search(
+    graph: Graph,
+    computer: DistanceComputer,
+    query: np.ndarray,
+    entry: int,
+) -> tuple[int, float, int]:
+    """Greedy descent to a local minimum (beam width 1).
+
+    Used by HNSW's upper layers: from ``entry``, repeatedly move to the
+    closest neighbor strictly better than the current node.  Returns
+    ``(node, distance, distance_calls)``.
+    """
+    mark = computer.checkpoint()
+    current = int(entry)
+    current_dist = computer.one_to_query(current, query)
+    improved = True
+    while improved:
+        improved = False
+        nbrs = graph.neighbors(current)
+        if nbrs.size == 0:
+            break
+        dists = computer.to_query(nbrs, query)
+        best = int(np.argmin(dists))
+        if dists[best] < current_dist:
+            current = int(nbrs[best])
+            current_dist = float(dists[best])
+            improved = True
+    return current, current_dist, computer.since(mark)

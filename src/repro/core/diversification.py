@@ -1,0 +1,233 @@
+"""Neighborhood diversification (ND) strategies — Section 3.4.
+
+Given a node ``x_q`` and a candidate neighbor list sorted by distance to
+``x_q``, each strategy selects a subset of at most ``max_degree`` neighbors:
+
+* :func:`nond` — no diversification: keep the closest ``max_degree``.
+* :func:`rnd` — Relative Neighborhood Diversification (Definition 3),
+  used by HNSW, NSG, SPTAG, ELPIS.
+* :func:`rrnd` — Relaxed RND with factor ``alpha`` (Definition 4), used by
+  Vamana; ``alpha = 1`` reduces to RND.
+* :func:`mond` — Maximum-Oriented ND with angle threshold ``theta``
+  (Definition 5), used by DPG and SSG.
+
+All candidate-to-selected distances are evaluated through the
+:class:`~repro.core.distances.DistanceComputer` so that pruning work is
+charged to the index build, exactly as the paper accounts it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from .distances import DistanceComputer
+
+__all__ = [
+    "nond",
+    "rnd",
+    "rrnd",
+    "mond",
+    "get_diversifier",
+    "DIVERSIFIERS",
+    "pruning_ratio",
+    "PruneCounter",
+]
+
+#: Signature shared by every strategy.
+Diversifier = Callable[
+    [DistanceComputer, np.ndarray, np.ndarray, int], np.ndarray
+]
+
+
+class PruneCounter:
+    """Accumulates how many examined candidates each strategy rejected.
+
+    Table 1 of the paper reports the *pruning ratio*: the fraction of
+    candidates removed by the diversification predicate itself (not by the
+    out-degree cap), averaged over all pruning invocations during a build.
+    """
+
+    __slots__ = ("examined", "rejected")
+
+    def __init__(self):
+        self.examined = 0
+        self.rejected = 0
+
+    def ratio(self) -> float:
+        """Overall fraction of examined candidates that were rejected."""
+        if self.examined == 0:
+            return 0.0
+        return self.rejected / self.examined
+
+
+def _sorted_candidates(
+    cand_ids: np.ndarray, cand_dists: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    cand_ids = np.asarray(cand_ids, dtype=np.int64)
+    cand_dists = np.asarray(cand_dists, dtype=np.float64)
+    if cand_ids.size != cand_dists.size:
+        raise ValueError("candidate ids and distances must align")
+    order = np.argsort(cand_dists, kind="stable")
+    ids = cand_ids[order]
+    dists = cand_dists[order]
+    _, first = np.unique(ids, return_index=True)
+    keep = np.sort(first)
+    return ids[keep], dists[keep]
+
+
+def nond(
+    computer: DistanceComputer,
+    cand_ids: np.ndarray,
+    cand_dists: np.ndarray,
+    max_degree: int,
+    stats: PruneCounter | None = None,
+) -> np.ndarray:
+    """Keep the ``max_degree`` closest candidates, no pruning (baseline)."""
+    ids, _ = _sorted_candidates(cand_ids, cand_dists)
+    if stats is not None:
+        stats.examined += min(len(ids), max_degree)
+    return ids[:max_degree]
+
+
+def rnd(
+    computer: DistanceComputer,
+    cand_ids: np.ndarray,
+    cand_dists: np.ndarray,
+    max_degree: int,
+    stats: PruneCounter | None = None,
+) -> np.ndarray:
+    """Relative Neighborhood Diversification (Definition 3, Eq. 2).
+
+    A candidate ``x_j`` survives iff for every already-selected neighbor
+    ``x_i``: ``dist(x_q, x_j) < dist(x_i, x_j)``.
+    """
+    return rrnd(computer, cand_ids, cand_dists, max_degree, alpha=1.0, stats=stats)
+
+
+def rrnd(
+    computer: DistanceComputer,
+    cand_ids: np.ndarray,
+    cand_dists: np.ndarray,
+    max_degree: int,
+    alpha: float = 1.3,
+    stats: PruneCounter | None = None,
+) -> np.ndarray:
+    """Relaxed RND (Definition 4, Eq. 3) with relaxation factor ``alpha``.
+
+    A candidate ``x_j`` survives iff for every selected ``x_i``:
+    ``dist(x_q, x_j) < alpha * dist(x_i, x_j)``.
+    """
+    if alpha < 1.0:
+        raise ValueError("alpha must be >= 1")
+    ids, dists = _sorted_candidates(cand_ids, cand_dists)
+    selected = np.empty(max_degree, dtype=np.int64)
+    n_selected = 0
+    for cand, dist_q in zip(ids.tolist(), dists.tolist()):
+        if n_selected >= max_degree:
+            break
+        if stats is not None:
+            stats.examined += 1
+        if n_selected == 0:
+            selected[0] = cand
+            n_selected = 1
+            continue
+        to_selected = computer.one_to_many(cand, selected[:n_selected])
+        if (dist_q < alpha * to_selected).all():
+            selected[n_selected] = cand
+            n_selected += 1
+        elif stats is not None:
+            stats.rejected += 1
+    return selected[:n_selected].copy()
+
+
+def mond(
+    computer: DistanceComputer,
+    cand_ids: np.ndarray,
+    cand_dists: np.ndarray,
+    max_degree: int,
+    theta_degrees: float = 60.0,
+    stats: PruneCounter | None = None,
+) -> np.ndarray:
+    """Maximum-Oriented ND (Definition 5, Eq. 4) with threshold ``theta``.
+
+    A candidate ``x_j`` survives iff the angle at ``x_q`` between ``x_j``
+    and every selected ``x_i`` exceeds ``theta``.  The angle is recovered
+    from the three pairwise distances by the law of cosines, so the pruning
+    work is still counted as distance calculations.
+    """
+    if theta_degrees < 0 or theta_degrees >= 180:
+        raise ValueError("theta must be in [0, 180) degrees")
+    cos_theta = math.cos(math.radians(theta_degrees))
+    ids, dists = _sorted_candidates(cand_ids, cand_dists)
+    selected = np.empty(max_degree, dtype=np.int64)
+    selected_dists = np.empty(max_degree, dtype=np.float64)
+    n_selected = 0
+    for cand, dist_q in zip(ids.tolist(), dists.tolist()):
+        if n_selected >= max_degree:
+            break
+        if stats is not None:
+            stats.examined += 1
+        if n_selected == 0:
+            selected[0] = cand
+            selected_dists[0] = dist_q
+            n_selected = 1
+            continue
+        if dist_q == 0.0:
+            if stats is not None:
+                stats.rejected += 1
+            continue
+        d_ij = computer.one_to_many(cand, selected[:n_selected])
+        d_qi = selected_dists[:n_selected]
+        # angle(x_i, x_q, x_j) > theta  <=>  cos(angle) < cos(theta)
+        denom = 2.0 * d_qi * dist_q
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos_angle = (d_qi**2 + dist_q**2 - d_ij**2) / denom
+        cos_angle = np.nan_to_num(cos_angle, nan=1.0, posinf=1.0, neginf=-1.0)
+        if (cos_angle < cos_theta).all():
+            selected[n_selected] = cand
+            selected_dists[n_selected] = dist_q
+            n_selected += 1
+        elif stats is not None:
+            stats.rejected += 1
+    return selected[:n_selected].copy()
+
+
+DIVERSIFIERS: dict[str, Diversifier] = {
+    "nond": nond,
+    "rnd": rnd,
+    "rrnd": rrnd,
+    "mond": mond,
+}
+
+
+def get_diversifier(name: str, **params) -> Diversifier:
+    """Look up a strategy by name, binding optional parameters.
+
+    ``get_diversifier("rrnd", alpha=1.3)`` returns a callable with the
+    standard four-argument signature.
+    """
+    key = name.lower()
+    if key not in DIVERSIFIERS:
+        raise KeyError(
+            f"unknown diversifier {name!r}; choose from {sorted(DIVERSIFIERS)}"
+        )
+    base = DIVERSIFIERS[key]
+    if not params:
+        return base
+
+    def bound(computer, cand_ids, cand_dists, max_degree):
+        """The strategy with its extra parameters pre-bound."""
+        return base(computer, cand_ids, cand_dists, max_degree, **params)
+
+    bound.__name__ = f"{key}_bound"
+    return bound
+
+
+def pruning_ratio(n_candidates: int, n_kept: int) -> float:
+    """Fraction of the candidate list removed by diversification (Table 1)."""
+    if n_candidates <= 0:
+        return 0.0
+    return 1.0 - n_kept / n_candidates

@@ -1,0 +1,139 @@
+"""Adjacency-list proximity graph.
+
+All twelve reproduced methods ultimately produce a directed proximity graph
+over dataset node ids.  :class:`Graph` is that shared structure: a list of
+int64 neighbor arrays, plus the handful of whole-graph operations the
+builders need (reverse edges, connectivity checks, DFS-tree repair,
+CSR flattening for the "optimized" Figure-17 variants).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A directed graph over node ids ``0..n-1`` with int64 adjacency lists."""
+
+    __slots__ = ("n", "_adj")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self._adj: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbors of ``node`` (do not mutate the returned array)."""
+        return self._adj[node]
+
+    def set_neighbors(self, node: int, neighbors) -> None:
+        """Replace the out-neighbor list of ``node`` (deduplicated)."""
+        arr = np.asarray(neighbors, dtype=np.int64).ravel()
+        if arr.size:
+            arr = arr[arr != node]
+            _, first = np.unique(arr, return_index=True)
+            arr = arr[np.sort(first)]
+        self._adj[node] = arr
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Append the directed edge ``src -> dst`` if not already present."""
+        if src == dst:
+            return
+        adj = self._adj[src]
+        if dst in adj:
+            return
+        self._adj[src] = np.append(adj, np.int64(dst))
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
+        return int(self._adj[node].size)
+
+    def num_edges(self) -> int:
+        """Total number of directed edges."""
+        return int(sum(a.size for a in self._adj))
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        return np.asarray([a.size for a in self._adj], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # whole-graph operations
+    # ------------------------------------------------------------------
+    def reverse_edges(self) -> list[list[int]]:
+        """In-neighbor lists (reverse adjacency) of every node."""
+        rev: list[list[int]] = [[] for _ in range(self.n)]
+        for src in range(self.n):
+            for dst in self._adj[src]:
+                rev[int(dst)].append(src)
+        return rev
+
+    def make_undirected(self) -> None:
+        """Add the reverse of every edge (DPG's undirected closure)."""
+        rev = self.reverse_edges()
+        for node in range(self.n):
+            if rev[node]:
+                merged = np.concatenate([self._adj[node], np.asarray(rev[node])])
+                self.set_neighbors(node, merged)
+
+    def reachable_from(self, root: int) -> np.ndarray:
+        """Boolean mask of nodes reachable from ``root`` (BFS)."""
+        seen = np.zeros(self.n, dtype=bool)
+        if self.n == 0:
+            return seen
+        seen[root] = True
+        queue: deque[int] = deque([root])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._adj[node]:
+                nbr = int(nbr)
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    queue.append(nbr)
+        return seen
+
+    def is_connected_from(self, root: int) -> bool:
+        """Whether every node is reachable from ``root``."""
+        return bool(self.reachable_from(root).all())
+
+    def to_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten to CSR ``(indptr, indices)`` int32/int64 arrays.
+
+        This is the contiguous layout used by the Figure-17 "optimized"
+        variants: one allocation, no per-node Python objects.
+        """
+        degrees = self.degrees()
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        for node in range(self.n):
+            indices[indptr[node] : indptr[node + 1]] = self._adj[node]
+        return indptr, indices
+
+    @classmethod
+    def from_neighbor_lists(cls, lists) -> "Graph":
+        """Build a graph from an iterable of per-node neighbor iterables."""
+        lists = list(lists)
+        graph = cls(len(lists))
+        for node, nbrs in enumerate(lists):
+            graph.set_neighbors(node, np.asarray(list(nbrs), dtype=np.int64))
+        return graph
+
+    def memory_bytes(self) -> int:
+        """Bytes held by all adjacency arrays."""
+        return int(sum(a.nbytes for a in self._adj))
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        out = Graph(self.n)
+        out._adj = [a.copy() for a in self._adj]
+        return out

@@ -1,0 +1,152 @@
+"""Priority queues used by the beam search.
+
+The paper notes (Section 4.1) that all evaluated methods except the original
+HNSW/ELPIS code keep the search frontier in a *single linear buffer* — a
+fixed-capacity array kept sorted by distance, in which each entry carries an
+"expanded" flag — and that the authors modified HNSW/ELPIS to match.  We
+follow that convention: :class:`NeighborQueue` is the linear buffer, and a
+small binary-heap based :class:`BoundedMaxHeap` is provided for result
+collection outside the hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["NeighborQueue", "BoundedMaxHeap"]
+
+
+class NeighborQueue:
+    """Fixed-capacity sorted buffer of ``(distance, id, expanded)`` entries.
+
+    Mirrors the ``retset`` structure of the NSG/Vamana/KGraph code bases:
+    entries are kept in ascending distance order, insertion shifts the tail,
+    and the search repeatedly asks for the closest not-yet-expanded entry.
+
+    Parameters
+    ----------
+    capacity:
+        The beam width ``L``; at most this many closest entries are kept.
+    """
+
+    __slots__ = ("capacity", "dists", "ids", "expanded", "size", "_members", "_scan_from")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dists = np.empty(capacity, dtype=np.float64)
+        self.ids = np.empty(capacity, dtype=np.int64)
+        self.expanded = np.zeros(capacity, dtype=bool)
+        self.size = 0
+        self._members: set[int] = set()
+        # positions below this are known-expanded (the classic NSG cursor)
+        self._scan_from = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def insert(self, dist: float, node_id: int) -> bool:
+        """Insert an entry, keeping the buffer sorted and bounded.
+
+        Returns ``True`` if the entry was kept (it beat the current worst or
+        the buffer had room), ``False`` if it was rejected or a duplicate.
+        """
+        if node_id in self._members:
+            return False
+        if self.size == self.capacity and dist >= self.dists[self.size - 1]:
+            return False
+        pos = int(self.dists[: self.size].searchsorted(dist))
+        if self.size == self.capacity:
+            evicted = int(self.ids[self.size - 1])
+            self._members.discard(evicted)
+            tail = self.size - 1
+        else:
+            tail = self.size
+            self.size += 1
+        # shift [pos, tail) one slot right
+        self.dists[pos + 1 : tail + 1] = self.dists[pos:tail]
+        self.ids[pos + 1 : tail + 1] = self.ids[pos:tail]
+        self.expanded[pos + 1 : tail + 1] = self.expanded[pos:tail]
+        self.dists[pos] = dist
+        self.ids[pos] = node_id
+        self.expanded[pos] = False
+        self._members.add(node_id)
+        if pos < self._scan_from:
+            self._scan_from = pos
+        return True
+
+    def pop_nearest_unexpanded(self) -> int | None:
+        """Mark and return the closest unexpanded entry's id, or ``None``."""
+        expanded = self.expanded
+        for pos in range(self._scan_from, self.size):
+            if not expanded[pos]:
+                expanded[pos] = True
+                self._scan_from = pos + 1
+                return int(self.ids[pos])
+        self._scan_from = self.size
+        return None
+
+    def worst_dist(self) -> float:
+        """Distance of the current worst kept entry (inf while not full)."""
+        if self.size < self.capacity:
+            return float("inf")
+        return float(self.dists[self.size - 1])
+
+    def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` closest entries as ``(ids, dists)`` arrays."""
+        k = min(k, self.size)
+        return self.ids[:k].copy(), self.dists[:k].copy()
+
+    def entries(self) -> tuple[np.ndarray, np.ndarray]:
+        """All kept entries as ``(ids, dists)`` arrays, sorted ascending."""
+        return self.ids[: self.size].copy(), self.dists[: self.size].copy()
+
+
+class BoundedMaxHeap:
+    """Keep the ``k`` smallest-distance items seen so far.
+
+    A classic top-k accumulator built on a max-heap (negated distances via
+    ``heapq``).  Used when merging results across partitions (ELPIS) and in
+    the exact baselines.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, dist: float, item: int) -> bool:
+        """Offer an item; returns ``True`` if it is kept."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-dist, item))
+            return True
+        if -self._heap[0][0] > dist:
+            heapq.heapreplace(self._heap, (-dist, item))
+            return True
+        return False
+
+    def worst_dist(self) -> float:
+        """Largest kept distance (inf while fewer than ``k`` items)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def sorted_items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Kept items as ``(ids, dists)`` sorted by ascending distance."""
+        pairs = sorted(((-d, i) for d, i in self._heap))
+        if not pairs:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        dists, ids = zip(*pairs)
+        return np.asarray(ids, dtype=np.int64), np.asarray(dists, dtype=np.float64)

@@ -1,0 +1,174 @@
+"""NNDescent — neighborhood propagation (Section 3.2, "NP").
+
+Refines an initial k-NN graph approximation under the assumption that "a
+neighbor of my neighbor is likely my neighbor": each iteration gathers, for
+every node, its neighbors and its neighbors' neighbors, scores the pool in
+one vectorized batch, and keeps the ``k`` closest.  This is the construction
+used by KGraph and, seeded differently, by IEH and EFANNA; DPG, NSG, and SSG
+all refine graphs produced this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distances import DistanceComputer
+from .graph import Graph
+
+__all__ = ["NNDescentResult", "nn_descent", "random_knn_init", "knn_graph_to_graph"]
+
+
+@dataclass
+class NNDescentResult:
+    """Outcome of an NNDescent run.
+
+    Attributes
+    ----------
+    ids, dists:
+        ``(n, k)`` arrays: the approximate k-NN list of every node, sorted
+        ascending by distance.
+    iterations:
+        Number of refinement iterations actually executed.
+    updates:
+        Per-iteration count of neighbor-list entries that changed.
+    """
+
+    ids: np.ndarray
+    dists: np.ndarray
+    iterations: int
+    updates: list[int]
+
+
+def random_knn_init(
+    computer: DistanceComputer, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random initial neighbor lists: ``k`` distinct random ids per node."""
+    n = computer.n
+    if k >= n:
+        raise ValueError(f"k ({k}) must be < n ({n})")
+    ids = np.empty((n, k), dtype=np.int64)
+    dists = np.empty((n, k), dtype=np.float64)
+    for node in range(n):
+        choices = rng.choice(n - 1, size=k, replace=False)
+        choices[choices >= node] += 1  # skip self
+        nbr_dists = computer.one_to_many(node, choices)
+        order = np.argsort(nbr_dists, kind="stable")
+        ids[node] = choices[order]
+        dists[node] = nbr_dists[order]
+    return ids, dists
+
+
+def nn_descent(
+    computer: DistanceComputer,
+    k: int,
+    rng: np.random.Generator,
+    init_ids: np.ndarray | None = None,
+    init_dists: np.ndarray | None = None,
+    max_iterations: int = 8,
+    sample_rate: float = 1.0,
+    convergence_threshold: float = 0.001,
+) -> NNDescentResult:
+    """Refine a k-NN graph approximation by neighborhood propagation.
+
+    Parameters
+    ----------
+    computer:
+        Distance engine over the dataset.
+    k:
+        Neighbor list length to maintain.
+    rng:
+        Randomness source (initialization and neighbor sampling).
+    init_ids, init_dists:
+        Optional ``(n, >=1)`` starting neighbor lists (e.g., from the K-D
+        trees of EFANNA or the hash tables of IEH).  When omitted, a random
+        graph is used, which is the KGraph recipe.
+    max_iterations:
+        Upper bound on refinement sweeps.
+    sample_rate:
+        Fraction of each node's propagation pool scored per sweep (KGraph's
+        ``rho``); ``1.0`` scores the full pool.
+    convergence_threshold:
+        Stop when fewer than ``threshold * n * k`` entries changed.
+    """
+    n = computer.n
+    if init_ids is None or init_dists is None:
+        ids, dists = random_knn_init(computer, k, rng)
+    else:
+        ids, dists = _pad_init(computer, init_ids, init_dists, k, rng)
+
+    updates_log: list[int] = []
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        updates = 0
+        for node in range(n):
+            pool = ids[ids[node]].ravel()
+            if sample_rate < 1.0 and pool.size:
+                take = max(1, int(pool.size * sample_rate))
+                pool = rng.choice(pool, size=take, replace=False)
+            pool = np.unique(pool)
+            pool = pool[(pool != node)]
+            # drop candidates already in the list
+            pool = np.setdiff1d(pool, ids[node], assume_unique=False)
+            if pool.size == 0:
+                continue
+            cand_dists = computer.one_to_many(node, pool)
+            merged_ids = np.concatenate([ids[node], pool])
+            merged_dists = np.concatenate([dists[node], cand_dists])
+            order = np.argsort(merged_dists, kind="stable")[:k]
+            new_ids = merged_ids[order]
+            updates += int((new_ids != ids[node]).sum())
+            ids[node] = new_ids
+            dists[node] = merged_dists[order]
+        updates_log.append(updates)
+        if updates < convergence_threshold * n * k:
+            break
+    return NNDescentResult(ids=ids, dists=dists, iterations=iterations, updates=updates_log)
+
+
+def _pad_init(
+    computer: DistanceComputer,
+    init_ids: np.ndarray,
+    init_dists: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize externally provided neighbor lists to exactly ``k`` entries."""
+    n = computer.n
+    init_ids = np.asarray(init_ids, dtype=np.int64)
+    init_dists = np.asarray(init_dists, dtype=np.float64)
+    if init_ids.shape != init_dists.shape or init_ids.shape[0] != n:
+        raise ValueError("init arrays must both be (n, m)")
+    ids = np.empty((n, k), dtype=np.int64)
+    dists = np.empty((n, k), dtype=np.float64)
+    for node in range(n):
+        row = init_ids[node]
+        row_d = init_dists[node]
+        keep = row != node
+        row, row_d = row[keep], row_d[keep]
+        uniq, first = np.unique(row, return_index=True)
+        row, row_d = uniq, row_d[first]
+        if row.size < k:
+            extra = rng.choice(n - 1, size=k - row.size, replace=False)
+            extra[extra >= node] += 1
+            extra = np.setdiff1d(extra, row, assume_unique=False)
+            if extra.size:
+                extra_d = computer.one_to_many(node, extra)
+                row = np.concatenate([row, extra])
+                row_d = np.concatenate([row_d, extra_d])
+        order = np.argsort(row_d, kind="stable")[:k]
+        if order.size < k:  # pathological tiny n; repeat best
+            order = np.resize(order, k)
+        ids[node] = row[order]
+        dists[node] = row_d[order]
+    return ids, dists
+
+
+def knn_graph_to_graph(ids: np.ndarray) -> Graph:
+    """Wrap an ``(n, k)`` neighbor-id matrix as a :class:`Graph`."""
+    graph = Graph(ids.shape[0])
+    for node in range(ids.shape[0]):
+        graph.set_neighbors(node, ids[node])
+    return graph

@@ -1,0 +1,400 @@
+"""Seed-selection (SS) strategies — Section 3.3.
+
+Each strategy chooses the nodes that warm the beam-search queue.  All seven
+strategies of the paper are implemented behind one interface so that the
+Section 4.3 experiments can swap them on an otherwise identical graph:
+
+* ``SN`` — Stacked NSW: hierarchical layers of diversified NSW graphs over
+  samples, descended greedily (HNSW's mechanism, Eq. 1).
+* ``KD`` — randomized K-D trees, best-first leaf retrieval (EFANNA, SPTAG-KDT,
+  HCNNG).
+* ``LSH`` — hash-table lookup (IEH).
+* ``MD`` — the dataset medoid and its neighbors (NSG, Vamana entry point).
+* ``SF`` — a single fixed random node and its neighbors (the paper's baseline).
+* ``KS`` — per-query random samples plus the medoid (KGraph, DPG, NSG, Vamana).
+* ``KM`` — balanced k-means trees (SPTAG-BKT).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..hashing.lsh import LSHIndex
+from ..trees.bkt import BKForest
+from ..trees.kdtree import KDForest
+from .distances import DistanceComputer
+from .graph import Graph
+from .heap import NeighborQueue
+
+__all__ = [
+    "SeedStrategy",
+    "FixedRandomSeeds",
+    "MedoidSeeds",
+    "RandomSampleSeeds",
+    "KDTreeSeeds",
+    "BKTreeSeeds",
+    "LSHSeeds",
+    "StackedNSWSeeds",
+    "get_seed_strategy",
+    "SEED_STRATEGIES",
+    "find_medoid",
+]
+
+
+def find_medoid(computer: DistanceComputer) -> int:
+    """Approximate medoid: the dataset point closest to the centroid.
+
+    This is the navigating-node heuristic of NSG/Vamana; the ``n`` distance
+    evaluations are charged to the build.
+    """
+    centroid = computer.data.mean(axis=0)
+    dists = computer.to_query(np.arange(computer.n), centroid)
+    return int(np.argmin(dists))
+
+
+class SeedStrategy(abc.ABC):
+    """Interface shared by all seed-selection strategies."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def fit(
+        self, computer: DistanceComputer, graph: Graph, rng: np.random.Generator
+    ) -> "SeedStrategy":
+        """Build any auxiliary structures over the indexed dataset."""
+
+    @abc.abstractmethod
+    def select(self, query: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Seed node ids for one query."""
+
+    def memory_bytes(self) -> int:
+        """Bytes held by auxiliary structures (0 when there are none)."""
+        return 0
+
+
+class FixedRandomSeeds(SeedStrategy):
+    """SF: one random node, fixed for all queries, plus its out-neighbors."""
+
+    name = "SF"
+
+    def __init__(self):
+        self._seeds: np.ndarray | None = None
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        entry = int(rng.integers(computer.n))
+        self._seeds = np.unique(
+            np.concatenate([[entry], graph.neighbors(entry)])
+        ).astype(np.int64)
+        return self
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._seeds is None:
+            raise RuntimeError("strategy not fitted")
+        return self._seeds
+
+
+class MedoidSeeds(SeedStrategy):
+    """MD: the medoid as fixed entry point, plus its out-neighbors."""
+
+    name = "MD"
+
+    def __init__(self):
+        self.medoid: int | None = None
+        self._seeds: np.ndarray | None = None
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        self.medoid = find_medoid(computer)
+        self._seeds = np.unique(
+            np.concatenate([[self.medoid], graph.neighbors(self.medoid)])
+        ).astype(np.int64)
+        return self
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._seeds is None:
+            raise RuntimeError("strategy not fitted")
+        return self._seeds
+
+
+class RandomSampleSeeds(SeedStrategy):
+    """KS: ``n_seeds`` fresh random nodes per query, plus the medoid."""
+
+    name = "KS"
+
+    def __init__(self, n_seeds: int = 32, include_medoid: bool = True):
+        if n_seeds < 1:
+            raise ValueError("n_seeds must be >= 1")
+        self.n_seeds = n_seeds
+        self.include_medoid = include_medoid
+        self._n = 0
+        self.medoid: int | None = None
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        self._n = computer.n
+        if self.include_medoid:
+            self.medoid = find_medoid(computer)
+        return self
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._n == 0:
+            raise RuntimeError("strategy not fitted")
+        picks = rng.choice(self._n, size=min(self.n_seeds, self._n), replace=False)
+        if self.medoid is not None:
+            picks = np.concatenate([picks, [self.medoid]])
+        return np.unique(picks).astype(np.int64)
+
+
+class KDTreeSeeds(SeedStrategy):
+    """KD: best-first K-D forest retrieval of candidate leaves."""
+
+    name = "KD"
+
+    def __init__(self, n_seeds: int = 32, n_trees: int = 4, leaf_size: int = 32):
+        self.n_seeds = n_seeds
+        self.n_trees = n_trees
+        self.leaf_size = leaf_size
+        self._forest: KDForest | None = None
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        self._forest = KDForest.build(
+            computer.data, self.n_trees, self.leaf_size, rng
+        )
+        return self
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._forest is None:
+            raise RuntimeError("strategy not fitted")
+        cands = self._forest.search_candidates(query, self.n_seeds)
+        return cands[: self.n_seeds * 2]
+
+    def memory_bytes(self):
+        """Bytes held by the auxiliary structure."""
+        return self._forest.memory_bytes() if self._forest else 0
+
+
+class BKTreeSeeds(SeedStrategy):
+    """KM: best-first balanced-k-means-tree retrieval (SPTAG-BKT)."""
+
+    name = "KM"
+
+    def __init__(
+        self,
+        n_seeds: int = 32,
+        n_trees: int = 2,
+        leaf_size: int = 32,
+        branching: int = 4,
+    ):
+        self.n_seeds = n_seeds
+        self.n_trees = n_trees
+        self.leaf_size = leaf_size
+        self.branching = branching
+        self._forest: BKForest | None = None
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        self._forest = BKForest.build(
+            computer.data, self.n_trees, self.leaf_size, self.branching, rng
+        )
+        return self
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._forest is None:
+            raise RuntimeError("strategy not fitted")
+        cands = self._forest.search_candidates(query, self.n_seeds)
+        return cands[: self.n_seeds * 2]
+
+    def memory_bytes(self):
+        """Bytes held by the auxiliary structure."""
+        return self._forest.memory_bytes() if self._forest else 0
+
+
+class LSHSeeds(SeedStrategy):
+    """LSH: bucket collisions of the query provide the seeds (IEH)."""
+
+    name = "LSH"
+
+    def __init__(self, n_seeds: int = 32, n_tables: int = 4, n_projections: int = 8):
+        self.n_seeds = n_seeds
+        self._index = LSHIndex(n_tables=n_tables, n_projections=n_projections)
+        self._n = 0
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        self._index.seed = int(rng.integers(2**31))
+        self._index.build(computer.data)
+        self._n = computer.n
+        return self
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._n == 0:
+            raise RuntimeError("strategy not fitted")
+        cands = self._index.candidates(query, min_candidates=self.n_seeds)
+        if cands.size == 0:  # empty buckets: fall back to random seeds
+            cands = rng.choice(self._n, size=min(self.n_seeds, self._n), replace=False)
+        return cands[: self.n_seeds * 2].astype(np.int64)
+
+    def memory_bytes(self):
+        """Bytes held by the auxiliary structure."""
+        return self._index.memory_bytes()
+
+
+class StackedNSWSeeds(SeedStrategy):
+    """SN: hierarchical layers of diversified NSW graphs (HNSW, Eq. 1).
+
+    Every node draws a maximum level ``floor(-ln(U) / ln(M))``; nodes with a
+    positive level are inserted into small NSW graphs at layers ``1..level``,
+    each built incrementally with RND pruning over the layer's members.  A
+    query greedily descends the stack; the node reached at layer 1 and its
+    base-graph neighbors become the seeds.
+    """
+
+    name = "SN"
+
+    def __init__(self, max_degree: int = 16, ef_construction: int = 32):
+        if max_degree < 2:
+            raise ValueError("max_degree must be >= 2")
+        self.max_degree = max_degree
+        self.ef_construction = ef_construction
+        self._layers: list[dict[int, np.ndarray]] = []
+        self._entry: int | None = None
+        self._base: Graph | None = None
+        self._computer: DistanceComputer | None = None
+
+    def fit(self, computer, graph, rng):
+        """Build this strategy\'s auxiliary state over the graph."""
+        self._computer = computer
+        self._base = graph
+        n = computer.n
+        inv_log_m = 1.0 / math.log(self.max_degree)
+        levels = np.floor(
+            -np.log(rng.uniform(1e-12, 1.0, size=n)) * inv_log_m
+        ).astype(np.int64)
+        max_level = int(levels.max()) if n else 0
+        self._layers = []
+        entry: int | None = None
+        for level in range(1, max_level + 1):
+            members = np.flatnonzero(levels >= level)
+            if members.size == 0:
+                break
+            layer = self._build_layer(members, rng)
+            self._layers.append(layer)
+            entry = int(members[0])
+        # order layers top-down for descent; remember a top entry
+        self._layers.reverse()
+        if entry is None:
+            entry = int(rng.integers(n)) if n else 0
+        self._entry = entry
+        return self
+
+    def _build_layer(
+        self, members: np.ndarray, rng: np.random.Generator
+    ) -> dict[int, np.ndarray]:
+        """Incrementally build one diversified NSW graph over ``members``."""
+        from .diversification import rnd  # local import avoids cycle at module load
+
+        computer = self._computer
+        adjacency: dict[int, np.ndarray] = {int(members[0]): np.empty(0, np.int64)}
+        for node in members[1:]:
+            node = int(node)
+            inserted = np.fromiter(adjacency.keys(), dtype=np.int64)
+            entry = int(inserted[rng.integers(inserted.size)])
+            ids, dists = self._layer_beam(adjacency, node, entry)
+            kept = rnd(computer, ids, dists, self.max_degree)
+            adjacency[node] = kept
+            for nbr in kept:
+                nbr = int(nbr)
+                merged = np.concatenate([adjacency[nbr], [node]])
+                if merged.size > self.max_degree:
+                    dists_nbr = computer.one_to_many(nbr, merged)
+                    merged = rnd(computer, merged, dists_nbr, self.max_degree)
+                adjacency[nbr] = merged
+        return adjacency
+
+    def _layer_beam(
+        self, adjacency: dict[int, np.ndarray], target: int, entry: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Beam search for ``target`` inside one layer's adjacency dict."""
+        computer = self._computer
+        query = computer.data[target]
+        queue = NeighborQueue(self.ef_construction)
+        visited = {entry}
+        queue.insert(computer.one_to_query(entry, query), entry)
+        while True:
+            node = queue.pop_nearest_unexpanded()
+            if node is None:
+                break
+            fresh = [int(x) for x in adjacency.get(node, ()) if int(x) not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            dists = computer.to_query(np.asarray(fresh), query)
+            for dist, nbr in zip(dists, fresh):
+                if dist < queue.worst_dist():
+                    queue.insert(float(dist), int(nbr))
+        return queue.entries()
+
+    def select(self, query, rng):
+        """Seed ids for one query (see class docstring)."""
+        if self._entry is None:
+            raise RuntimeError("strategy not fitted")
+        computer = self._computer
+        current = self._entry
+        current_dist = computer.one_to_query(current, query)
+        for layer in self._layers:
+            if current not in layer:
+                current = next(iter(layer))
+                current_dist = computer.one_to_query(current, query)
+            improved = True
+            while improved:
+                improved = False
+                nbrs = layer.get(current)
+                if nbrs is None or nbrs.size == 0:
+                    break
+                dists = computer.to_query(nbrs, query)
+                best = int(np.argmin(dists))
+                if dists[best] < current_dist:
+                    current = int(nbrs[best])
+                    current_dist = float(dists[best])
+                    improved = True
+        seeds = np.concatenate([[current], self._base.neighbors(current)])
+        return np.unique(seeds).astype(np.int64)
+
+    def memory_bytes(self):
+        """Bytes held by the auxiliary structure."""
+        total = 0
+        for layer in self._layers:
+            total += sum(arr.nbytes + 32 for arr in layer.values())
+        return total
+
+
+SEED_STRATEGIES: dict[str, type[SeedStrategy]] = {
+    "SF": FixedRandomSeeds,
+    "MD": MedoidSeeds,
+    "KS": RandomSampleSeeds,
+    "KD": KDTreeSeeds,
+    "KM": BKTreeSeeds,
+    "LSH": LSHSeeds,
+    "SN": StackedNSWSeeds,
+}
+
+
+def get_seed_strategy(name: str, **params) -> SeedStrategy:
+    """Instantiate a strategy by its paper abbreviation (case-insensitive)."""
+    key = name.upper()
+    if key not in SEED_STRATEGIES:
+        raise KeyError(
+            f"unknown seed strategy {name!r}; choose from {sorted(SEED_STRATEGIES)}"
+        )
+    return SEED_STRATEGIES[key](**params)

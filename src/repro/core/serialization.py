@@ -1,0 +1,55 @@
+"""Persistence for proximity graphs.
+
+Graphs are the expensive artifact of every method; persisting them lets a
+downstream user build once and reload across sessions (the auxiliary seed
+structures are cheap to re-fit).  The format is a single ``.npz`` holding
+the CSR arrays plus a format version.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    indptr, indices = graph.to_csr()
+    np.savez_compressed(
+        path,
+        version=np.asarray([_FORMAT_VERSION]),
+        n=np.asarray([graph.n]),
+        indptr=indptr,
+        indices=indices,
+    )
+    return path
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read a graph previously written by :func:`save_graph`."""
+    with np.load(path) as payload:
+        version = int(payload["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        n = int(payload["n"][0])
+        indptr = payload["indptr"]
+        indices = payload["indices"]
+    if indptr.shape[0] != n + 1:
+        raise ValueError("corrupt graph file: indptr does not match n")
+    graph = Graph(n)
+    for node in range(n):
+        graph.set_neighbors(node, indices[indptr[node] : indptr[node + 1]])
+    return graph

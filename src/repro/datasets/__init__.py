@@ -1,0 +1,1 @@
+"""datasets subpackage of the repro library."""

@@ -1,0 +1,101 @@
+"""Dataset-complexity measures: LID (Eq. 5) and LRC (Eq. 6) — Section 4.1.
+
+Local Intrinsic Dimensionality estimates, per query point, how fast the
+neighborhood volume grows with radius: *lower LID means easier search*.
+Local Relative Contrast measures how separable the k-th neighbor is from the
+average point: *higher LRC means easier search*.  Figure 4 of the paper
+characterizes every dataset by the distribution of these two quantities over
+a sample with k = 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.distances import pairwise_euclidean
+
+__all__ = ["lid", "lrc", "ComplexityProfile", "dataset_complexity"]
+
+
+def lid(knn_dists: np.ndarray) -> np.ndarray:
+    """Local Intrinsic Dimensionality from each row of k-NN distances.
+
+    ``LID(x) = - (1/k * sum_i log(dist_i / dist_k))^{-1}`` (Eq. 5, the
+    maximum-likelihood estimator of Amsaleg et al.).  Zero distances are
+    dropped; rows with no usable distances yield NaN.
+    """
+    knn_dists = np.atleast_2d(np.asarray(knn_dists, dtype=np.float64))
+    k = knn_dists.shape[1]
+    out = np.full(knn_dists.shape[0], np.nan)
+    for row in range(knn_dists.shape[0]):
+        dists = knn_dists[row]
+        dists = dists[dists > 0]
+        if dists.size < 2:
+            continue
+        ratio = np.log(dists / dists[-1])
+        mean_log = ratio.sum() / k
+        if mean_log < 0:
+            out[row] = -1.0 / mean_log
+    return out
+
+
+def lrc(knn_dists: np.ndarray, mean_dists: np.ndarray) -> np.ndarray:
+    """Local Relative Contrast: ``dist_mean(x) / dist_k(x)`` (Eq. 6)."""
+    knn_dists = np.atleast_2d(np.asarray(knn_dists, dtype=np.float64))
+    mean_dists = np.asarray(mean_dists, dtype=np.float64)
+    dist_k = knn_dists[:, -1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(dist_k > 0, mean_dists / dist_k, np.nan)
+
+
+@dataclass
+class ComplexityProfile:
+    """Summary of a dataset's hardness (one Figure 4 box)."""
+
+    name: str
+    lid_values: np.ndarray
+    lrc_values: np.ndarray
+
+    @property
+    def mean_lid(self) -> float:
+        """Mean LID over sampled query points (the orange line of Fig. 4a)."""
+        return float(np.nanmean(self.lid_values))
+
+    @property
+    def mean_lrc(self) -> float:
+        """Mean LRC over sampled query points (the orange line of Fig. 4b)."""
+        return float(np.nanmean(self.lrc_values))
+
+
+def dataset_complexity(
+    data: np.ndarray,
+    name: str = "",
+    k: int = 100,
+    n_samples: int = 200,
+    rng: np.random.Generator | None = None,
+) -> ComplexityProfile:
+    """Estimate LID and LRC for ``data`` following the Figure 4 protocol.
+
+    ``n_samples`` points are drawn as pseudo-queries; their k-NN distances
+    against the full dataset (self excluded) feed Eqs. 5-6.
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    n = data.shape[0]
+    if k >= n:
+        raise ValueError(f"k ({k}) must be < n ({n})")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n_samples = min(n_samples, n)
+    sample_ids = rng.choice(n, size=n_samples, replace=False)
+    dists = pairwise_euclidean(data[sample_ids], data)
+    dists[np.arange(n_samples), sample_ids] = np.inf  # exclude self
+    knn = np.sort(np.partition(dists, k, axis=1)[:, :k], axis=1)
+    finite = np.where(np.isinf(dists), np.nan, dists)
+    mean_dists = np.nanmean(finite, axis=1)
+    return ComplexityProfile(
+        name=name or "dataset",
+        lid_values=lid(knn),
+        lrc_values=lrc(knn, mean_dists),
+    )

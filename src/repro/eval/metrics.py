@@ -1,0 +1,54 @@
+"""Accuracy and efficiency metrics — Section 4.1, "Measures".
+
+The paper reports *Recall* (fraction of true nearest neighbors returned),
+*wall clock time*, and *distance calculations* for both indexing and query
+answering.  Ground truth comes from the exact brute-force baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distances import DistanceComputer
+
+__all__ = ["recall", "ground_truth", "mean_recall"]
+
+
+def recall(returned_ids: np.ndarray, true_ids: np.ndarray) -> float:
+    """Fraction of the true k-NN ids present in the returned ids.
+
+    Follows the paper's definition: ``|returned ∩ true| / k`` with
+    ``k = len(true_ids)``.
+    """
+    true_ids = np.asarray(true_ids).ravel()
+    if true_ids.size == 0:
+        raise ValueError("true_ids must be non-empty")
+    returned = set(np.asarray(returned_ids).ravel().tolist())
+    hits = sum(1 for t in true_ids.tolist() if t in returned)
+    return hits / true_ids.size
+
+
+def mean_recall(returned: list[np.ndarray], truth: list[np.ndarray]) -> float:
+    """Average recall over a query workload."""
+    if len(returned) != len(truth):
+        raise ValueError("returned and truth workloads must align")
+    if not returned:
+        raise ValueError("empty workload")
+    return float(np.mean([recall(r, t) for r, t in zip(returned, truth)]))
+
+
+def ground_truth(
+    data: np.ndarray, queries: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-NN ids and distances of each query by brute force.
+
+    Returns ``(ids, dists)`` of shape ``(n_queries, k)``.  Not charged to
+    any index's accounting (a throwaway computer is used).
+    """
+    computer = DistanceComputer(data)
+    queries = np.atleast_2d(np.asarray(queries))
+    ids = np.empty((queries.shape[0], min(k, computer.n)), dtype=np.int64)
+    dists = np.empty_like(ids, dtype=np.float64)
+    for row, query in enumerate(queries):
+        ids[row], dists[row] = computer.exact_knn(query, k)
+    return ids, dists

@@ -1,0 +1,77 @@
+"""Method recommendations — Figure 18's decision tree.
+
+The paper closes with a practitioner's flowchart: dataset size and hardness
+(plus desired recall) select the methods expected to perform best.  This
+module encodes that tree so the recommendation bench can both print it and
+cross-check it against measured results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Recommendation", "recommend", "HARD_DATASETS"]
+
+#: Datasets the paper characterizes as hard (high LID / low LRC, Figure 4).
+HARD_DATASETS = frozenset(
+    {"seismic", "text2img", "randpow0", "randpow5", "randpow50"}
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Methods suggested for one (size, hardness) regime."""
+
+    methods: tuple[str, ...]
+    rationale: str
+
+
+def recommend(
+    dataset_size: int,
+    hard: bool,
+    large_threshold: int | None = None,
+    tier_100gb_equivalent: int = 30_000,
+) -> Recommendation:
+    """Figure 18: pick methods from dataset size and workload hardness.
+
+    Parameters
+    ----------
+    dataset_size:
+        Number of vectors to index.
+    hard:
+        Whether the dataset/workload is hard (high LID, low LRC, or noisy
+        queries) — see :data:`HARD_DATASETS` and
+        :mod:`repro.datasets.complexity`.
+    large_threshold:
+        Size at which the "large dataset" branch applies; defaults to this
+        reproduction's 100GB-equivalent tier.
+    tier_100gb_equivalent:
+        The scaled-down point count standing in for the paper's 100GB.
+    """
+    if dataset_size <= 0:
+        raise ValueError("dataset_size must be positive")
+    threshold = large_threshold if large_threshold is not None else tier_100gb_equivalent
+    if dataset_size >= threshold:
+        return Recommendation(
+            methods=("HNSW", "ELPIS"),
+            rationale=(
+                "Large datasets (>=100GB in the paper): only II-based methods "
+                "scale; HNSW and ELPIS consistently rank top (Figs. 14, 16)."
+            ),
+        )
+    if hard:
+        return Recommendation(
+            methods=("ELPIS", "SPTAG-BKT", "HCNNG"),
+            rationale=(
+                "Small/medium but hard datasets: DC-based methods win because "
+                "per-partition graphs localize the beam search "
+                "(Figs. 12d, 13c, 13e, 13f, 15)."
+            ),
+        )
+    return Recommendation(
+        methods=("HNSW", "NSG", "SSG"),
+        rationale=(
+            "Small/medium easy datasets: ND-based methods with strong seed "
+            "selection dominate (Figs. 12a, 12b, 12e, 12f)."
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Text rendering of the paper's tables and figure series.
+
+Benchmarks regenerate each table/figure as plain text: a figure becomes the
+series of points it plots (method, x, y rows); a table becomes an aligned
+grid.  Reports are echoed to stdout and archived under
+``benchmarks/results/`` so paper-vs-measured comparisons in EXPERIMENTS.md
+can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["format_table", "Report"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Report:
+    """Accumulates one experiment's text output and archives it.
+
+    Parameters
+    ----------
+    name:
+        Experiment id, e.g. ``"fig05_nd_search"``; used as the archive
+        file name.
+    directory:
+        Archive directory; default ``benchmarks/results`` relative to the
+        repository root, overridable via ``REPRO_RESULTS_DIR``.
+    """
+
+    def __init__(self, name: str, directory: str | Path | None = None):
+        self.name = name
+        if directory is None:
+            directory = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+        self.directory = Path(directory)
+        self._chunks: list[str] = []
+
+    def add(self, text: str) -> None:
+        """Append a block of text (also printed immediately)."""
+        self._chunks.append(text)
+        print(text)
+
+    def add_table(self, headers: list[str], rows: list[list], title: str = "") -> None:
+        """Append an aligned table."""
+        self.add(format_table(headers, rows, title=title))
+
+    def save(self) -> Path:
+        """Write the accumulated report to ``<directory>/<name>.txt``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"{self.name}.txt"
+        path.write_text("\n\n".join(self._chunks) + "\n")
+        return path

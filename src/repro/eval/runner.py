@@ -1,0 +1,169 @@
+"""Experiment driver: builds, sweeps, and tradeoff curves.
+
+Reproduces the paper's experimental procedure (Section 4.1): indexes are
+built once per configuration; query workloads are swept over beam widths to
+trace the recall / distance-calculation tradeoff curve of each method
+(Figures 5, 12-16); build cost is tracked in wall time, distance
+calculations, and peak Python-heap bytes (Figures 7-8).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..indexes.base import BaseIndex
+from .metrics import ground_truth, recall
+
+__all__ = [
+    "BuildMeasurement",
+    "SweepPoint",
+    "build_with_tracking",
+    "sweep_beam_widths",
+    "calls_at_recall",
+    "beam_width_for_recall",
+    "QueryMeasurement",
+    "run_workload",
+]
+
+
+@dataclass
+class BuildMeasurement:
+    """Construction cost of one index (one Figure 7/8 bar)."""
+
+    name: str
+    wall_time_s: float
+    distance_calls: int
+    peak_heap_bytes: int
+    index_bytes: int
+
+
+@dataclass
+class QueryMeasurement:
+    """One workload run at a fixed beam width."""
+
+    beam_width: int
+    recall: float
+    mean_distance_calls: float
+    mean_hops: float
+    mean_time_s: float
+
+
+@dataclass
+class SweepPoint:
+    """One point of a recall/efficiency tradeoff curve."""
+
+    beam_width: int
+    recall: float
+    distance_calls: float
+    time_s: float
+    extras: dict = field(default_factory=dict)
+
+
+def build_with_tracking(index: BaseIndex, data: np.ndarray) -> BuildMeasurement:
+    """Build ``index`` over ``data`` recording time, distances, peak memory.
+
+    Peak memory is the Python-heap high-water mark during construction
+    (tracemalloc), standing in for the paper's ``/proc`` VmPeak probe.
+    """
+    tracemalloc.start()
+    index.build(data)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return BuildMeasurement(
+        name=index.name,
+        wall_time_s=index.build_report.wall_time_s,
+        distance_calls=index.build_report.distance_calls,
+        peak_heap_bytes=int(peak),
+        index_bytes=index.memory_bytes(),
+    )
+
+
+def run_workload(
+    index: BaseIndex,
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    k: int,
+    beam_width: int,
+) -> QueryMeasurement:
+    """Run every query sequentially (the paper's protocol) at one beam width."""
+    queries = np.atleast_2d(np.asarray(queries))
+    recalls, calls, hops, times = [], [], [], []
+    for query, truth in zip(queries, truth_ids):
+        start = time.perf_counter()
+        result = index.search(query, k=k, beam_width=beam_width)
+        times.append(time.perf_counter() - start)
+        recalls.append(recall(result.ids, truth[:k]))
+        calls.append(result.distance_calls)
+        hops.append(result.hops)
+    return QueryMeasurement(
+        beam_width=beam_width,
+        recall=float(np.mean(recalls)),
+        mean_distance_calls=float(np.mean(calls)),
+        mean_hops=float(np.mean(hops)),
+        mean_time_s=float(np.mean(times)),
+    )
+
+
+def sweep_beam_widths(
+    index: BaseIndex,
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    k: int = 10,
+    beam_widths: tuple[int, ...] = (10, 20, 40, 80, 160, 320),
+) -> list[SweepPoint]:
+    """Trace the recall / distance-calculation tradeoff curve of a method."""
+    curve: list[SweepPoint] = []
+    for width in beam_widths:
+        if width < k:
+            continue
+        measurement = run_workload(index, queries, truth_ids, k, width)
+        curve.append(
+            SweepPoint(
+                beam_width=width,
+                recall=measurement.recall,
+                distance_calls=measurement.mean_distance_calls,
+                time_s=measurement.mean_time_s,
+            )
+        )
+    return curve
+
+
+def calls_at_recall(curve: list[SweepPoint], target: float) -> float | None:
+    """Distance calls needed to reach ``target`` recall, interpolated.
+
+    Returns ``None`` when the curve never reaches the target (the paper
+    reports these cases as method failures, e.g. Seismic at 0.8).
+    """
+    reached = [p for p in curve if p.recall >= target]
+    if not reached:
+        return None
+    above = min(reached, key=lambda p: p.distance_calls)
+    below = [p for p in curve if p.recall < target and p.distance_calls <= above.distance_calls]
+    if not below:
+        return float(above.distance_calls)
+    prev = max(below, key=lambda p: p.recall)
+    span = above.recall - prev.recall
+    if span <= 0:
+        return float(above.distance_calls)
+    frac = (target - prev.recall) / span
+    return float(prev.distance_calls + frac * (above.distance_calls - prev.distance_calls))
+
+
+def beam_width_for_recall(curve: list[SweepPoint], target: float) -> int | None:
+    """Smallest swept beam width reaching ``target`` recall (Figure 11)."""
+    reached = [p for p in curve if p.recall >= target]
+    if not reached:
+        return None
+    return int(min(reached, key=lambda p: p.beam_width).beam_width)
+
+
+def make_ground_truth(
+    data: np.ndarray, queries: np.ndarray, k: int
+) -> np.ndarray:
+    """Convenience wrapper returning just the ground-truth ids."""
+    ids, _ = ground_truth(data, queries, k)
+    return ids

@@ -1,0 +1,1 @@
+"""hashing subpackage of the repro library."""

@@ -1,0 +1,128 @@
+"""LSB-tree-style projection tables — LSHAPG's seed structure.
+
+LSHAPG (Section 3.6) augments an HNSW graph with ``L`` hash tables derived
+from the LSB-tree (Tao et al.): each table Z-orders points by their
+quantized LSH projections so that a query can retrieve the points whose
+compound hash keys are closest to its own.  We reproduce the structure as
+sorted arrays of interleaved (Z-order) keys with binary-search retrieval,
+plus the projected-distance estimate LSHAPG uses for probabilistic routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LSBTable", "LSBForest"]
+
+_KEY_BITS_PER_DIM = 8
+
+
+class LSBTable:
+    """One Z-ordered table of quantized LSH projections."""
+
+    def __init__(self, n_projections: int, seed: int):
+        self.n_projections = n_projections
+        self.seed = seed
+        self._projections: np.ndarray | None = None
+        self._lo = 0.0
+        self._scale = 1.0
+        self._keys: np.ndarray | None = None
+        self._order: np.ndarray | None = None
+        self.projected: np.ndarray | None = None
+
+    def build(self, data: np.ndarray) -> "LSBTable":
+        """Project, quantize, Z-order, and sort the dataset."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        rng = np.random.default_rng(self.seed)
+        self._projections = rng.normal(size=(self.n_projections, data.shape[1]))
+        self._projections /= np.linalg.norm(self._projections, axis=1, keepdims=True)
+        self.projected = data @ self._projections.T
+        self._lo = float(self.projected.min())
+        hi = float(self.projected.max())
+        self._scale = (hi - self._lo) or 1.0
+        cells = self._quantize(self.projected)
+        keys = self._interleave(cells)
+        self._order = np.argsort(keys, kind="stable").astype(np.int64)
+        self._keys = keys[self._order]
+        return self
+
+    def _quantize(self, projected: np.ndarray) -> np.ndarray:
+        levels = (1 << _KEY_BITS_PER_DIM) - 1
+        scaled = (projected - self._lo) / self._scale
+        return np.clip(np.round(scaled * levels), 0, levels).astype(np.uint64)
+
+    def _interleave(self, cells: np.ndarray) -> np.ndarray:
+        """Morton (Z-order) interleave of the per-projection cells."""
+        keys = np.zeros(cells.shape[0], dtype=np.uint64)
+        for bit in range(_KEY_BITS_PER_DIM - 1, -1, -1):
+            for proj in range(self.n_projections):
+                keys = (keys << np.uint64(1)) | ((cells[:, proj] >> np.uint64(bit)) & np.uint64(1))
+        return keys
+
+    def seeds_for(self, query: np.ndarray, n_seeds: int) -> np.ndarray:
+        """Ids whose Z-order keys are nearest the query's key."""
+        if self._keys is None:
+            raise RuntimeError("table not built")
+        q_proj = np.asarray(query, dtype=np.float64) @ self._projections.T
+        q_cells = self._quantize(q_proj[None, :])
+        q_key = self._interleave(q_cells)[0]
+        pos = int(np.searchsorted(self._keys, q_key))
+        lo = max(0, pos - n_seeds)
+        hi = min(self._keys.size, pos + n_seeds)
+        return self._order[lo:hi]
+
+    def projected_distance(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Scaled RMS displacement in projection space — LSHAPG's routing
+        estimate.
+
+        For a random *unit* direction ``a`` in ``dim`` dimensions,
+        ``E[(a·(x-q))^2] = ||x-q||^2 / dim``; averaging over the table's
+        projections and scaling by ``sqrt(dim)`` therefore estimates the
+        true distance.  With few projections the estimate is noisy — which
+        is exactly why the paper finds probabilistic routing prunes
+        promising neighbors.
+        """
+        q_proj = np.asarray(query, dtype=np.float64) @ self._projections.T
+        diffs = self.projected[np.asarray(ids, dtype=np.int64)] - q_proj
+        dim = self._projections.shape[1]
+        return np.sqrt((diffs**2).mean(axis=1) * dim)
+
+    def memory_bytes(self) -> int:
+        """Bytes across projections, keys, order, and projected matrix."""
+        total = 0
+        for arr in (self._projections, self._keys, self._order, self.projected):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+
+class LSBForest:
+    """``L`` independent LSB tables queried together."""
+
+    def __init__(self, n_tables: int = 4, n_projections: int = 8, seed: int = 0):
+        if n_tables < 1:
+            raise ValueError("n_tables must be >= 1")
+        self.tables = [
+            LSBTable(n_projections, seed + table) for table in range(n_tables)
+        ]
+
+    def build(self, data: np.ndarray) -> "LSBForest":
+        """Build every table over ``data``."""
+        for table in self.tables:
+            table.build(data)
+        return self
+
+    def seeds_for(self, query: np.ndarray, n_seeds: int) -> np.ndarray:
+        """Union of per-table nearest-key ids."""
+        per_table = max(1, n_seeds // len(self.tables))
+        parts = [t.seeds_for(query, per_table) for t in self.tables]
+        return np.unique(np.concatenate(parts))
+
+    def projected_distance(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Average routing estimate across tables."""
+        estimates = [t.projected_distance(query, ids) for t in self.tables]
+        return np.mean(estimates, axis=0)
+
+    def memory_bytes(self) -> int:
+        """Total bytes across tables."""
+        return sum(t.memory_bytes() for t in self.tables)

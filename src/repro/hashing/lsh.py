@@ -1,0 +1,170 @@
+"""Locality-sensitive hashing for Euclidean space (E2LSH family).
+
+Three roles in the paper: the "LSH" seed-selection strategy (Section 3.3),
+the initial-graph generator of IEH (Section 3.6), and — as a query-aware
+variant — the stand-in for QALSH, the δ-ε-approximate comparator of the
+Figure 1 motivation experiment.
+
+Hash functions are the classic ``h(x) = floor((a·x + b) / w)`` projections
+(Datar et al.); a table concatenates ``n_projections`` of them into one
+bucket key.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["LSHIndex", "QueryAwareLSH"]
+
+
+class LSHIndex:
+    """Multi-table E2LSH index over a dataset (or a sample of it).
+
+    Parameters
+    ----------
+    n_tables:
+        Number of independent hash tables (more tables, higher recall).
+    n_projections:
+        Projections concatenated per table (more projections, finer buckets).
+    bucket_width:
+        The quantization width ``w``; chosen relative to the data scale at
+        :meth:`build` time when not given.
+    """
+
+    def __init__(
+        self,
+        n_tables: int = 4,
+        n_projections: int = 8,
+        bucket_width: float | None = None,
+        seed: int = 0,
+    ):
+        if n_tables < 1 or n_projections < 1:
+            raise ValueError("n_tables and n_projections must be >= 1")
+        self.n_tables = n_tables
+        self.n_projections = n_projections
+        self.bucket_width = bucket_width
+        self.seed = seed
+        self._projections: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._tables: list[dict[tuple, np.ndarray]] = []
+        self._ids: np.ndarray | None = None
+
+    def build(self, data: np.ndarray, ids: np.ndarray | None = None) -> "LSHIndex":
+        """Hash ``data`` rows (referenced by ``ids``) into all tables."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, dim = data.shape
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        self._ids = np.asarray(ids, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        if self.bucket_width is None:
+            # scale w to a robust estimate of typical pairwise distance
+            sample = data[rng.choice(n, size=min(n, 256), replace=False)]
+            diffs = sample[:, None, :16] - sample[None, :, :16]
+            typical = float(np.median(np.sqrt((diffs**2).sum(axis=-1)))) or 1.0
+            self.bucket_width = typical
+        self._projections = rng.normal(
+            size=(self.n_tables, self.n_projections, dim)
+        )
+        self._offsets = rng.uniform(
+            0, self.bucket_width, size=(self.n_tables, self.n_projections)
+        )
+        self._tables = []
+        for table in range(self.n_tables):
+            keys = self._hash(data, table)
+            buckets: dict[tuple, list[int]] = defaultdict(list)
+            for row, key in enumerate(map(tuple, keys)):
+                buckets[key].append(int(self._ids[row]))
+            self._tables.append(
+                {key: np.asarray(val, dtype=np.int64) for key, val in buckets.items()}
+            )
+        return self
+
+    def _hash(self, data: np.ndarray, table: int) -> np.ndarray:
+        proj = data @ self._projections[table].T + self._offsets[table]
+        return np.floor(proj / self.bucket_width).astype(np.int64)
+
+    def candidates(self, query: np.ndarray, min_candidates: int = 1) -> np.ndarray:
+        """Ids colliding with the query in any table (multi-probe fallback).
+
+        If the exact buckets yield fewer than ``min_candidates`` ids, the
+        neighboring buckets (±1 on each projection, one at a time) are
+        probed as well.
+        """
+        if self._projections is None:
+            raise RuntimeError("index not built")
+        query = np.asarray(query, dtype=np.float64)[None, :]
+        found: list[np.ndarray] = []
+        for table in range(self.n_tables):
+            key = tuple(self._hash(query, table)[0])
+            bucket = self._tables[table].get(key)
+            if bucket is not None:
+                found.append(bucket)
+        total = sum(b.size for b in found)
+        if total < min_candidates:
+            for table in range(self.n_tables):
+                base = self._hash(query, table)[0]
+                for proj in range(self.n_projections):
+                    for delta in (-1, 1):
+                        probe = base.copy()
+                        probe[proj] += delta
+                        bucket = self._tables[table].get(tuple(probe))
+                        if bucket is not None:
+                            found.append(bucket)
+        if not found:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(found))
+
+    def memory_bytes(self) -> int:
+        """Bytes across projections, offsets, and bucket arrays."""
+        total = 0
+        if self._projections is not None:
+            total += self._projections.nbytes + self._offsets.nbytes
+        for table in self._tables:
+            total += sum(bucket.nbytes for bucket in table.values())
+        return total
+
+
+class QueryAwareLSH:
+    """Query-aware LSH search in the spirit of QALSH (Huang et al.).
+
+    Projects all points onto ``n_projections`` random lines; at query time
+    points are examined in order of their worst projected displacement from
+    the *query's own projection* (the query acts as the bucket anchor), and
+    exact distances are computed for the examined prefix.  This provides the
+    slow-but-high-quality δ-ε-style comparator used in Figure 1.
+    """
+
+    def __init__(self, n_projections: int = 16, seed: int = 0):
+        if n_projections < 1:
+            raise ValueError("n_projections must be >= 1")
+        self.n_projections = n_projections
+        self.seed = seed
+        self._projections: np.ndarray | None = None
+        self._projected: np.ndarray | None = None
+
+    def build(self, data: np.ndarray) -> "QueryAwareLSH":
+        """Project and store all data rows."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        rng = np.random.default_rng(self.seed)
+        self._projections = rng.normal(size=(self.n_projections, data.shape[1]))
+        self._projections /= np.linalg.norm(self._projections, axis=1, keepdims=True)
+        self._projected = data @ self._projections.T
+        return self
+
+    def examination_order(self, query: np.ndarray) -> np.ndarray:
+        """Dataset ids sorted by median projected displacement from the query."""
+        if self._projected is None:
+            raise RuntimeError("index not built")
+        q_proj = np.asarray(query, dtype=np.float64) @ self._projections.T
+        displacement = np.median(np.abs(self._projected - q_proj), axis=1)
+        return np.argsort(displacement, kind="stable")
+
+    def memory_bytes(self) -> int:
+        """Bytes held by projections and the projected matrix."""
+        total = 0
+        if self._projections is not None:
+            total += self._projections.nbytes + self._projected.nbytes
+        return total

@@ -1,0 +1,83 @@
+"""The twelve evaluated graph-based methods, plus IEH, the exact baseline,
+and the Figure-17 optimized variants.
+
+Use :func:`create_index` to instantiate any method by its paper name, or
+:data:`METHOD_REGISTRY` to enumerate them.
+"""
+
+from __future__ import annotations
+
+from .base import BaseGraphIndex, BaseIndex, BuildReport
+from .bruteforce import BruteForceIndex
+from .dpg import DPGIndex
+from .efanna import EFANNAIndex
+from .elpis import ELPISIndex
+from .hcnng import HCNNGIndex
+from .hnsw import HNSWIndex
+from .ieh import IEHIndex
+from .ivfpq import IVFIndex
+from .kgraph import KGraphIndex
+from .lshapg import LSHAPGIndex
+from .ngt import NGTIndex
+from .nsg import NSGIndex
+from .nsw import NSWIndex
+from .optimized import OptimizedIndex
+from .sptag import SPTAGIndex
+from .ssg import SSGIndex
+from .vamana import VamanaIndex
+
+__all__ = [
+    "BaseIndex",
+    "BaseGraphIndex",
+    "BuildReport",
+    "BruteForceIndex",
+    "KGraphIndex",
+    "NSWIndex",
+    "HNSWIndex",
+    "EFANNAIndex",
+    "DPGIndex",
+    "NGTIndex",
+    "NSGIndex",
+    "SSGIndex",
+    "VamanaIndex",
+    "SPTAGIndex",
+    "HCNNGIndex",
+    "ELPISIndex",
+    "LSHAPGIndex",
+    "IEHIndex",
+    "IVFIndex",
+    "OptimizedIndex",
+    "METHOD_REGISTRY",
+    "create_index",
+]
+
+#: Paper method name -> factory returning a fresh index with default params.
+METHOD_REGISTRY: dict[str, object] = {
+    "KGraph": KGraphIndex,
+    "NSW": NSWIndex,
+    "HNSW": HNSWIndex,
+    "EFANNA": EFANNAIndex,
+    "DPG": DPGIndex,
+    "NGT": NGTIndex,
+    "NSG": NSGIndex,
+    "SSG": SSGIndex,
+    "Vamana": VamanaIndex,
+    "SPTAG-KDT": lambda **kw: SPTAGIndex(tree_type="kdt", **kw),
+    "SPTAG-BKT": lambda **kw: SPTAGIndex(tree_type="bkt", **kw),
+    "HCNNG": HCNNGIndex,
+    "ELPIS": ELPISIndex,
+    "LSHAPG": LSHAPGIndex,
+    "IEH": IEHIndex,
+    "IVF-Flat": lambda **kw: IVFIndex(use_pq=False, **kw),
+    "IVF-PQ": lambda **kw: IVFIndex(use_pq=True, **kw),
+    "BruteForce": BruteForceIndex,
+}
+
+
+def create_index(name: str, **params) -> BaseIndex:
+    """Instantiate a method by its paper name (e.g. ``"SPTAG-BKT"``)."""
+    if name not in METHOD_REGISTRY:
+        raise KeyError(
+            f"unknown method {name!r}; choose from {sorted(METHOD_REGISTRY)}"
+        )
+    return METHOD_REGISTRY[name](**params)

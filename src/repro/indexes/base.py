@@ -1,0 +1,138 @@
+"""Shared index interface.
+
+Every reproduced method exposes the same surface:
+
+* ``build(data)`` — construct the index, recording wall time and distance
+  calculations (:class:`BuildReport`);
+* ``search(query, k, beam_width)`` — answer one ng-approximate k-NN query,
+  returning a :class:`~repro.core.beam_search.SearchResult` with its own
+  distance accounting;
+* ``memory_bytes()`` — bytes attributable to the index structures (the
+  Figure 8/9/10 footprint metric; raw data is reported separately).
+
+Graph-backed methods subclass :class:`BaseGraphIndex`, which provides the
+standard beam-search query path (Algorithm 1) on top of per-method seeds.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.beam_search import SearchResult, beam_search
+from ..core.distances import DistanceComputer
+from ..core.graph import Graph
+
+__all__ = ["BuildReport", "BaseIndex", "BaseGraphIndex"]
+
+
+@dataclass
+class BuildReport:
+    """Construction cost accounting (Figures 7-9, Table 2)."""
+
+    distance_calls: int = 0
+    wall_time_s: float = 0.0
+
+
+class BaseIndex(abc.ABC):
+    """Common build/search/footprint contract for all methods."""
+
+    name: str = "base"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.computer: DistanceComputer | None = None
+        self.build_report = BuildReport()
+        self._query_rng = np.random.default_rng(seed ^ 0x5EED)
+
+    def build(self, data: np.ndarray) -> "BaseIndex":
+        """Construct the index over ``data``, recording cost."""
+        self.computer = DistanceComputer(data)
+        rng = np.random.default_rng(self.seed)
+        start = time.perf_counter()
+        mark = self.computer.checkpoint()
+        self._build(rng)
+        self.build_report = BuildReport(
+            distance_calls=self.computer.since(mark),
+            wall_time_s=time.perf_counter() - start,
+        )
+        return self
+
+    @abc.abstractmethod
+    def _build(self, rng: np.random.Generator) -> None:
+        """Method-specific construction; ``self.computer`` is ready."""
+
+    @abc.abstractmethod
+    def search(
+        self, query: np.ndarray, k: int = 10, beam_width: int | None = None
+    ) -> SearchResult:
+        """Answer one ng-approximate k-NN query."""
+
+    def memory_bytes(self) -> int:
+        """Bytes held by index structures (excludes the raw vectors)."""
+        return 0
+
+    def _require_built(self) -> DistanceComputer:
+        if self.computer is None:
+            raise RuntimeError(f"{self.name}: call build() before search()")
+        return self.computer
+
+
+class BaseGraphIndex(BaseIndex):
+    """Graph-backed methods: beam search over ``self.graph`` with seeds."""
+
+    def __init__(self, seed: int = 0, default_beam_width: int = 64):
+        super().__init__(seed)
+        if default_beam_width < 1:
+            raise ValueError("default_beam_width must be >= 1")
+        self.graph: Graph | None = None
+        self.default_beam_width = default_beam_width
+        self._visited_scratch: np.ndarray | None = None
+
+    @abc.abstractmethod
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        """Seed node ids for one query (method-specific SS strategy)."""
+
+    def search(
+        self, query: np.ndarray, k: int = 10, beam_width: int | None = None
+    ) -> SearchResult:
+        """Algorithm 1 on the method's graph, seeded by its SS strategy."""
+        computer = self._require_built()
+        if self.graph is None:
+            raise RuntimeError(f"{self.name}: graph missing; build() first")
+        width = beam_width or max(self.default_beam_width, k)
+        width = max(width, k)
+        mark = computer.checkpoint()
+        seeds = self._query_seeds(query)
+        if self._visited_scratch is None or self._visited_scratch.size != self.graph.n:
+            self._visited_scratch = np.zeros(self.graph.n, dtype=bool)
+        result = beam_search(
+            self.graph,
+            computer,
+            query,
+            seeds,
+            k=k,
+            beam_width=width,
+            visited_mask=self._visited_scratch,
+        )
+        # charge seed-selection distance work to the query
+        result.distance_calls = computer.since(mark)
+        return result
+
+    def memory_bytes(self) -> int:
+        """Graph adjacency bytes; subclasses add their seed structures."""
+        return self.graph.memory_bytes() if self.graph is not None else 0
+
+    def degree_stats(self) -> dict[str, float]:
+        """Mean/max out-degree — handy for graph-shape assertions in tests."""
+        if self.graph is None:
+            raise RuntimeError("build() first")
+        degrees = self.graph.degrees()
+        return {
+            "mean": float(degrees.mean()) if degrees.size else 0.0,
+            "max": float(degrees.max()) if degrees.size else 0.0,
+            "min": float(degrees.min()) if degrees.size else 0.0,
+        }

@@ -1,0 +1,43 @@
+"""Exact brute-force baseline — the "serial scan" of Figure 1.
+
+Answers every query exactly by scanning all ``n`` vectors.  Used for ground
+truth throughout the evaluation harness and as the exact comparator in the
+motivation experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.beam_search import SearchResult
+from .base import BaseIndex
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex(BaseIndex):
+    """Exact k-NN by vectorized sequential scan."""
+
+    name = "BruteForce"
+
+    def _build(self, rng: np.random.Generator) -> None:
+        """Nothing to construct; the computer already holds the data."""
+
+    def search(
+        self, query: np.ndarray, k: int = 10, beam_width: int | None = None
+    ) -> SearchResult:
+        """Exact scan; ``beam_width`` is ignored."""
+        computer = self._require_built()
+        mark = computer.checkpoint()
+        ids, dists = computer.exact_knn(query, k)
+        return SearchResult(
+            ids=ids,
+            dists=dists,
+            distance_calls=computer.since(mark),
+            hops=0,
+            visited=np.arange(computer.n, dtype=np.int64),
+        )
+
+    def memory_bytes(self) -> int:
+        """No index structure beyond the raw data."""
+        return 0

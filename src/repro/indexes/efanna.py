@@ -1,0 +1,83 @@
+"""EFANNA — randomized K-D tree initialization + NNDescent (Section 3.6).
+
+EFANNA builds its approximate k-NN graph by seeding every node's neighbor
+list from the leaves of randomized truncated K-D trees, then refining with
+NNDescent.  The same trees provide query-time seeds (the KD strategy).  The
+paper highlights its large memory footprint (trees + dense k-NN lists) as
+the reason NSG/SSG — which build on it — fail to scale past 25GB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nndescent import knn_graph_to_graph, nn_descent
+from ..trees.kdtree import KDForest
+from .base import BaseGraphIndex
+
+__all__ = ["EFANNAIndex"]
+
+
+class EFANNAIndex(BaseGraphIndex):
+    """K-D-tree-initialized NNDescent graph with KD query seeds."""
+
+    name = "EFANNA"
+
+    def __init__(
+        self,
+        k_neighbors: int = 20,
+        n_trees: int = 4,
+        leaf_size: int = 16,
+        max_iterations: int = 6,
+        n_query_seeds: int = 24,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        self.k_neighbors = k_neighbors
+        self.n_trees = n_trees
+        self.leaf_size = leaf_size
+        self.max_iterations = max_iterations
+        self.n_query_seeds = n_query_seeds
+        self._forest: KDForest | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        self._forest = KDForest.build(
+            computer.data, self.n_trees, self.leaf_size, rng
+        )
+        k = min(self.k_neighbors, computer.n - 1)
+        init_ids = self._forest.initial_neighbor_lists(computer.n, k, rng)
+        init_dists = np.empty_like(init_ids, dtype=np.float64)
+        for node in range(computer.n):
+            init_dists[node] = computer.one_to_many(node, init_ids[node])
+        result = nn_descent(
+            computer,
+            k=k,
+            rng=rng,
+            init_ids=init_ids,
+            init_dists=init_dists,
+            max_iterations=self.max_iterations,
+        )
+        self.graph = knn_graph_to_graph(result.ids)
+        self._knn_ids = result.ids
+        self._knn_dists = result.dists
+
+    def knn_lists(self) -> tuple[np.ndarray, np.ndarray]:
+        """The refined ``(ids, dists)`` k-NN lists (consumed by NSG/SSG)."""
+        if self.graph is None:
+            raise RuntimeError("build() first")
+        return self._knn_ids, self._knn_dists
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        cands = self._forest.search_candidates(query, self.n_query_seeds)
+        return cands[: self.n_query_seeds * 2]
+
+    def memory_bytes(self) -> int:
+        """Graph + trees + the retained dense k-NN lists."""
+        total = super().memory_bytes()
+        if self._forest is not None:
+            total += self._forest.memory_bytes()
+        if self.graph is not None:
+            total += self._knn_ids.nbytes + self._knn_dists.nbytes
+        return total

@@ -1,0 +1,89 @@
+"""HCNNG — hierarchical-clustering MST graph (Section 3.6).
+
+HCNNG repeats a *random hierarchical clustering* of the dataset several
+times; inside every resulting cluster it computes a degree-bounded minimum
+spanning tree, and the union of all MST edges (made bi-directional) is the
+final graph.  No diversification is applied — HCNNG is the paper's DC+NoND
+method.  Query seeds come from randomized K-D trees (KD strategy).
+
+The many overlapping clusterings explain its Figure 8 behaviour: build
+memory far exceeds the final (quite sparse) index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.hierarchical import random_bisection_clusters
+from ..clustering.mst import degree_bounded_mst
+from ..core.graph import Graph
+from ..trees.kdtree import KDForest
+from .base import BaseGraphIndex
+
+__all__ = ["HCNNGIndex"]
+
+
+class HCNNGIndex(BaseGraphIndex):
+    """Union of per-cluster degree-bounded MSTs over repeated clusterings."""
+
+    name = "HCNNG"
+
+    def __init__(
+        self,
+        n_clusterings: int = 8,
+        min_cluster_size: int = 64,
+        mst_max_degree: int = 3,
+        n_seed_trees: int = 2,
+        seed_leaf_size: int = 32,
+        n_query_seeds: int = 24,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        if n_clusterings < 1:
+            raise ValueError("n_clusterings must be >= 1")
+        self.n_clusterings = n_clusterings
+        self.min_cluster_size = min_cluster_size
+        self.mst_max_degree = mst_max_degree
+        self.n_seed_trees = n_seed_trees
+        self.seed_leaf_size = seed_leaf_size
+        self.n_query_seeds = n_query_seeds
+        self._forest: KDForest | None = None
+        self.peak_build_bytes = 0
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        n = computer.n
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        for _ in range(self.n_clusterings):
+            clusters = random_bisection_clusters(
+                computer, self.min_cluster_size, rng
+            )
+            for cluster in clusters:
+                for a, b in degree_bounded_mst(
+                    computer, cluster, self.mst_max_degree
+                ):
+                    adjacency[a].add(b)
+                    adjacency[b].add(a)
+        # edge sets across all clusterings are the build's peak structure
+        self.peak_build_bytes = sum(8 * len(s) + 64 for s in adjacency)
+        graph = Graph(n)
+        for node in range(n):
+            graph.set_neighbors(node, np.fromiter(adjacency[node], dtype=np.int64))
+        self.graph = graph
+        self._forest = KDForest.build(
+            computer.data, self.n_seed_trees, self.seed_leaf_size, rng
+        )
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        cands = self._forest.search_candidates(query, self.n_query_seeds)
+        if cands.size == 0:
+            return np.asarray([0], dtype=np.int64)
+        return cands[: self.n_query_seeds * 2]
+
+    def memory_bytes(self) -> int:
+        """Graph plus the seed forest."""
+        total = super().memory_bytes()
+        if self._forest is not None:
+            total += self._forest.memory_bytes()
+        return total

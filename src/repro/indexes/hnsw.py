@@ -1,0 +1,88 @@
+"""Hierarchical Navigable Small World (HNSW) — Section 3.6.
+
+HNSW = NSW base layer + two additions the paper isolates as paradigms:
+RND pruning of every neighborhood (ND) and a stack of sampled NSW layers for
+seed selection (SN, Eq. 1).  We compose it from the shared apparatus: the
+incremental-insertion builder with RND diversification, driven by
+:class:`~repro.core.incremental.StackedNSWBuildSeeds`, whose layer stack is
+retained and descended at query time exactly as HNSW does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.incremental import StackedNSWBuildSeeds, build_ii_graph
+from .base import BaseGraphIndex
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex(BaseGraphIndex):
+    """Incremental insertion + RND pruning + stacked-NSW seed selection."""
+
+    name = "HNSW"
+
+    def __init__(
+        self,
+        max_degree: int = 24,
+        ef_construction: int = 64,
+        layer_max_degree: int = 16,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        if max_degree < 2:
+            raise ValueError("max_degree must be >= 2")
+        self.max_degree = max_degree
+        self.ef_construction = ef_construction
+        self.layer_max_degree = layer_max_degree
+        self._stack: StackedNSWBuildSeeds | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        stack = StackedNSWBuildSeeds(
+            max_degree=self.layer_max_degree,
+            ef_construction=max(8, self.ef_construction // 2),
+        )
+        result = build_ii_graph(
+            self.computer,
+            max_degree=self.max_degree,
+            beam_width=self.ef_construction,
+            diversify="rnd",
+            rng=rng,
+            build_seeds=stack,
+            track_pruning=False,
+        )
+        self.graph = result.graph
+        self._stack = stack
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        """Greedy descent through the layer stack; the landing node and its
+        base-layer neighbors seed the beam search (SN strategy)."""
+        computer = self.computer
+        current = self._stack.entry
+        if current is None:
+            return np.asarray([0], dtype=np.int64)
+        current_dist = computer.one_to_query(current, query)
+        for layer in reversed(self._stack.layers):
+            current, current_dist = StackedNSWBuildSeeds._greedy_in_layer(
+                layer, current, current_dist, query, computer
+            )
+        seeds = np.concatenate([[current], self.graph.neighbors(current)])
+        return np.unique(seeds).astype(np.int64)
+
+    def memory_bytes(self) -> int:
+        """Padded contiguous base layout plus the hierarchical layer stack.
+
+        The original HNSW code stores every node's edges in one contiguous
+        block sized for the *maximum* out-degree — faster to traverse, but
+        the footprint grows with ``n * max_degree`` regardless of actual
+        degrees (the paper's Figure 8 explanation).  We report that layout.
+        """
+        if self.graph is None:
+            return 0
+        padded_base = self.graph.n * self.max_degree * 8
+        total = padded_base
+        if self._stack is not None:
+            total += self._stack.memory_bytes()
+        return total

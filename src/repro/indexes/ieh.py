@@ -1,0 +1,85 @@
+"""IEH — Iterative Expanding Hashing (Section 3.6).
+
+IEH seeds each node's initial neighbor candidates from LSH bucket collisions
+and refines the graph with NNDescent; the same hash index supplies query
+seeds.  The paper excludes IEH from its main evaluation for sub-optimal
+performance but keeps it in the taxonomy — it is included here for
+completeness and used in ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nndescent import knn_graph_to_graph, nn_descent
+from ..hashing.lsh import LSHIndex
+from .base import BaseGraphIndex
+
+__all__ = ["IEHIndex"]
+
+
+class IEHIndex(BaseGraphIndex):
+    """LSH-initialized NNDescent graph with LSH query seeds."""
+
+    name = "IEH"
+
+    def __init__(
+        self,
+        k_neighbors: int = 20,
+        n_tables: int = 4,
+        n_projections: int = 8,
+        max_iterations: int = 6,
+        n_query_seeds: int = 16,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        self.k_neighbors = k_neighbors
+        self.max_iterations = max_iterations
+        self.n_query_seeds = n_query_seeds
+        self._lsh = LSHIndex(n_tables=n_tables, n_projections=n_projections)
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        n = computer.n
+        self._lsh.seed = self.seed
+        self._lsh.build(computer.data)
+        k = min(self.k_neighbors, n - 1)
+        init_ids = np.empty((n, k), dtype=np.int64)
+        init_dists = np.empty((n, k), dtype=np.float64)
+        for node in range(n):
+            pool = self._lsh.candidates(computer.data[node], min_candidates=k + 1)
+            pool = pool[pool != node]
+            if pool.size < k:
+                extra = rng.choice(n - 1, size=k - pool.size, replace=False)
+                extra[extra >= node] += 1
+                pool = np.unique(np.concatenate([pool, extra]))
+                pool = pool[pool != node]
+            dists = computer.one_to_many(node, pool)
+            order = np.argsort(dists, kind="stable")[:k]
+            if order.size < k:
+                order = np.resize(order, k)
+            init_ids[node] = pool[order]
+            init_dists[node] = dists[order]
+        result = nn_descent(
+            computer,
+            k=k,
+            rng=rng,
+            init_ids=init_ids,
+            init_dists=init_dists,
+            max_iterations=self.max_iterations,
+        )
+        self.graph = knn_graph_to_graph(result.ids)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        cands = self._lsh.candidates(query, min_candidates=self.n_query_seeds)
+        if cands.size == 0:
+            n = self.computer.n
+            cands = self._query_rng.choice(
+                n, size=min(self.n_query_seeds, n), replace=False
+            )
+        return cands[: self.n_query_seeds * 2].astype(np.int64)
+
+    def memory_bytes(self) -> int:
+        """Graph plus the hash tables."""
+        return super().memory_bytes() + self._lsh.memory_bytes()

@@ -1,0 +1,55 @@
+"""KGraph — approximate k-NN graph via NNDescent (Section 3.6).
+
+KGraph refines a random initial graph with neighborhood propagation and
+answers queries with beam search seeded by random samples (the KS strategy).
+It is the paper's archetypal NP-based method: cheap conceptually, but its
+dense undiversified neighborhoods make searches long and its all-pairs-ish
+refinement makes indexing memory-hungry — both visible in Figures 7-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nndescent import knn_graph_to_graph, nn_descent
+from .base import BaseGraphIndex
+
+__all__ = ["KGraphIndex"]
+
+
+class KGraphIndex(BaseGraphIndex):
+    """NNDescent-refined random k-NN graph with KS query seeds."""
+
+    name = "KGraph"
+
+    def __init__(
+        self,
+        k_neighbors: int = 20,
+        max_iterations: int = 8,
+        sample_rate: float = 1.0,
+        n_query_seeds: int = 16,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        if k_neighbors < 1:
+            raise ValueError("k_neighbors must be >= 1")
+        self.k_neighbors = k_neighbors
+        self.max_iterations = max_iterations
+        self.sample_rate = sample_rate
+        self.n_query_seeds = n_query_seeds
+
+    def _build(self, rng: np.random.Generator) -> None:
+        result = nn_descent(
+            self.computer,
+            k=min(self.k_neighbors, self.computer.n - 1),
+            rng=rng,
+            max_iterations=self.max_iterations,
+            sample_rate=self.sample_rate,
+        )
+        self.graph = knn_graph_to_graph(result.ids)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        n = self.computer.n
+        size = min(self.n_query_seeds, n)
+        return self._query_rng.choice(n, size=size, replace=False)

@@ -1,0 +1,132 @@
+"""LSHAPG — HNSW graph + LSB-tree seeds + probabilistic routing (Section 3.6).
+
+LSHAPG augments an HNSW-style base graph with ``L`` LSB hash tables: the
+tables supply multiple seeds per query (instead of HNSW's single SN descent)
+and support *probabilistic routing* — neighbors whose projected distance
+already exceeds a slack factor over the current bound are skipped before
+their raw vectors are evaluated.  The paper finds the routing prunes
+promising neighbors, forcing larger beams at high recall; the same effect
+emerges here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.beam_search import SearchResult
+from ..core.heap import NeighborQueue
+from ..core.incremental import build_ii_graph
+from ..hashing.lsbtree import LSBForest
+from .base import BaseGraphIndex
+
+__all__ = ["LSHAPGIndex"]
+
+
+class LSHAPGIndex(BaseGraphIndex):
+    """II+RND base graph with LSB-table seeding and projected-distance routing."""
+
+    name = "LSHAPG"
+
+    def __init__(
+        self,
+        max_degree: int = 24,
+        ef_construction: int = 64,
+        n_tables: int = 4,
+        n_projections: int = 4,
+        n_query_seeds: int = 16,
+        routing_slack: float = 1.1,
+        probabilistic_routing: bool = True,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        if routing_slack < 1.0:
+            raise ValueError("routing_slack must be >= 1")
+        self.max_degree = max_degree
+        self.ef_construction = ef_construction
+        self.n_tables = n_tables
+        self.n_projections = n_projections
+        self.n_query_seeds = n_query_seeds
+        self.routing_slack = routing_slack
+        self.probabilistic_routing = probabilistic_routing
+        self._forest: LSBForest | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        result = build_ii_graph(
+            self.computer,
+            max_degree=self.max_degree,
+            beam_width=self.ef_construction,
+            diversify="rnd",
+            rng=rng,
+            track_pruning=False,
+        )
+        self.graph = result.graph
+        self._forest = LSBForest(
+            n_tables=self.n_tables,
+            n_projections=self.n_projections,
+            seed=self.seed,
+        )
+        self._forest.build(self.computer.data)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        seeds = self._forest.seeds_for(query, self.n_query_seeds)
+        if seeds.size == 0:
+            seeds = np.asarray([0], dtype=np.int64)
+        return seeds
+
+    def search(
+        self, query: np.ndarray, k: int = 10, beam_width: int | None = None
+    ) -> SearchResult:
+        """Beam search with optional projected-distance neighbor skipping."""
+        if not self.probabilistic_routing:
+            return super().search(query, k, beam_width)
+        computer = self._require_built()
+        width = max(beam_width or self.default_beam_width, k)
+        mark = computer.checkpoint()
+        seeds = self._query_seeds(query)
+        queue = NeighborQueue(width)
+        visited = np.zeros(self.graph.n, dtype=bool)
+        seed_dists = computer.to_query(seeds, query)
+        visited[seeds] = True
+        for dist, node in zip(seed_dists, seeds):
+            queue.insert(float(dist), int(node))
+        hops = 0
+        while True:
+            node = queue.pop_nearest_unexpanded()
+            if node is None:
+                break
+            hops += 1
+            nbrs = self.graph.neighbors(node)
+            if nbrs.size == 0:
+                continue
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = True
+            bound = queue.worst_dist()
+            if np.isfinite(bound):
+                # probabilistic routing: skip neighbors whose projected
+                # distance already exceeds slack * bound
+                estimates = self._forest.projected_distance(query, fresh)
+                fresh = fresh[estimates <= self.routing_slack * bound]
+                if fresh.size == 0:
+                    continue
+            dists = computer.to_query(fresh, query)
+            for dist, nbr in zip(dists, fresh):
+                if dist < queue.worst_dist():
+                    queue.insert(float(dist), int(nbr))
+        ids, dists = queue.top_k(k)
+        return SearchResult(
+            ids=ids,
+            dists=dists,
+            distance_calls=computer.since(mark),
+            hops=hops,
+            visited=np.empty(0, dtype=np.int64),
+        )
+
+    def memory_bytes(self) -> int:
+        """Graph plus the LSB tables."""
+        total = super().memory_bytes()
+        if self._forest is not None:
+            total += self._forest.memory_bytes()
+        return total

@@ -1,0 +1,79 @@
+"""NGT — pruned bi-directed k-NN graph with VP-tree seeds (Section 3.6).
+
+The paper evaluates NGT's bi-directed k-NN graph variant (Iwasaki): an
+approximate k-NN graph is made bi-directed by adding every reverse edge,
+then each (now dense) neighborhood is pruned back with RND.  Seeds come from
+a Vantage-Point tree over the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.diversification import rnd
+from ..core.graph import Graph
+from ..core.nndescent import nn_descent
+from ..trees.vptree import VPTree
+from .base import BaseGraphIndex
+
+__all__ = ["NGTIndex"]
+
+
+class NGTIndex(BaseGraphIndex):
+    """Bi-directed, RND-pruned k-NN graph with VP-tree seed selection."""
+
+    name = "NGT"
+
+    def __init__(
+        self,
+        k_neighbors: int = 16,
+        max_degree: int = 24,
+        max_iterations: int = 8,
+        vp_leaf_size: int = 16,
+        n_query_seeds: int = 12,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        self.k_neighbors = k_neighbors
+        self.max_degree = max_degree
+        self.max_iterations = max_iterations
+        self.vp_leaf_size = vp_leaf_size
+        self.n_query_seeds = n_query_seeds
+        self._vptree: VPTree | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        k = min(self.k_neighbors, computer.n - 1)
+        result = nn_descent(
+            computer, k=k, rng=rng, max_iterations=self.max_iterations
+        )
+        graph = Graph(computer.n)
+        for node in range(computer.n):
+            graph.set_neighbors(node, result.ids[node])
+        # bi-direct, then prune dense neighborhoods back with RND
+        graph.make_undirected()
+        for node in range(computer.n):
+            nbrs = graph.neighbors(node)
+            if nbrs.size > self.max_degree:
+                dists = computer.one_to_many(node, nbrs)
+                graph.set_neighbors(node, rnd(computer, nbrs, dists, self.max_degree))
+        self.graph = graph
+        self._vptree = VPTree.build(computer.data, self.vp_leaf_size, rng)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        seeds = self._vptree.search(
+            query, self.n_query_seeds, max_examined=self.n_query_seeds * 8
+        )
+        if seeds.size == 0:
+            seeds = np.asarray([0], dtype=np.int64)
+        # VP-tree probing evaluates real distances; charge them to the query
+        self.computer.count += self._vptree.last_examined
+        return seeds
+
+    def memory_bytes(self) -> int:
+        """Graph plus the vantage-point tree."""
+        total = super().memory_bytes()
+        if self._vptree is not None:
+            total += self._vptree.memory_bytes()
+        return total

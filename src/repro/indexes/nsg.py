@@ -1,0 +1,144 @@
+"""Navigating Spreading-out Graph (NSG) — Section 3.6.
+
+NSG starts from an EFANNA approximate k-NN graph, then rebuilds every
+neighborhood: a beam search from the dataset medoid (the "navigating node")
+collects each node's visited list, which is pruned with RND.  Reverse edges
+are added under the same pruning, and a DFS tree from the medoid repairs any
+disconnected vertices.  Queries start at the medoid enhanced with random
+seeds (MD + KS).
+
+Because NSG *contains* an EFANNA build, its indexing time and footprint
+inherit EFANNA's — the scalability ceiling the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.beam_search import beam_search
+from ..core.diversification import rnd
+from ..core.graph import Graph
+from ..core.seeds import find_medoid
+from .base import BaseGraphIndex
+from .efanna import EFANNAIndex
+
+__all__ = ["NSGIndex"]
+
+
+class NSGIndex(BaseGraphIndex):
+    """EFANNA base + per-node beam-search candidates + RND + DFS repair."""
+
+    name = "NSG"
+
+    def __init__(
+        self,
+        max_degree: int = 24,
+        build_beam_width: int = 64,
+        prune_pool_size: int = 64,
+        efanna_k: int = 20,
+        efanna_trees: int = 4,
+        n_query_seeds: int = 16,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        self.max_degree = max_degree
+        self.build_beam_width = build_beam_width
+        self.prune_pool_size = prune_pool_size
+        self.efanna_k = efanna_k
+        self.efanna_trees = efanna_trees
+        self.n_query_seeds = n_query_seeds
+        self.medoid: int | None = None
+        self._base_index: EFANNAIndex | None = None
+        #: peak auxiliary bytes held during construction (Figure 8's gap
+        #: between build footprint and final index size)
+        self.peak_build_bytes = 0
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        base = EFANNAIndex(
+            k_neighbors=self.efanna_k,
+            n_trees=self.efanna_trees,
+            seed=self.seed,
+        )
+        # share the computer so base-graph work is charged to this build
+        base.computer = computer
+        base._build(rng)
+        self._base_index = base
+        base_graph = base.graph
+        self.peak_build_bytes = base.memory_bytes()
+        self.medoid = find_medoid(computer)
+
+        graph = Graph(computer.n)
+        visited_mask = np.zeros(computer.n, dtype=bool)
+        for node in range(computer.n):
+            result = beam_search(
+                base_graph,
+                computer,
+                computer.data[node],
+                [self.medoid],
+                k=self.build_beam_width,
+                beam_width=self.build_beam_width,
+                visited_mask=visited_mask,
+            )
+            extra = base_graph.neighbors(node)
+            extra_dists = computer.one_to_many(node, extra)
+            cand_ids = np.concatenate([result.visited, extra])
+            cand_dists = np.concatenate([result.visited_dists, extra_dists])
+            keep = cand_ids != node
+            cand_ids, cand_dists = cand_ids[keep], cand_dists[keep]
+            # cap the pruning pool to the closest candidates (rnd sorts and
+            # dedupes internally; the cap bounds per-node pruning cost)
+            if cand_ids.size > self.prune_pool_size:
+                top = np.argpartition(cand_dists, self.prune_pool_size)[
+                    : self.prune_pool_size
+                ]
+                cand_ids, cand_dists = cand_ids[top], cand_dists[top]
+            graph.set_neighbors(
+                node, rnd(computer, cand_ids, cand_dists, self.max_degree)
+            )
+        self._add_reverse_edges(graph)
+        self._repair_connectivity(graph)
+        self.graph = graph
+
+    def _add_reverse_edges(self, graph: Graph) -> None:
+        """Insert reverse edges, re-pruning overflowing lists with RND."""
+        computer = self.computer
+        for node in range(graph.n):
+            for nbr in graph.neighbors(node).tolist():
+                merged = np.concatenate([graph.neighbors(nbr), [node]])
+                if merged.size > self.max_degree:
+                    dists = computer.one_to_many(nbr, np.unique(merged))
+                    merged = rnd(computer, np.unique(merged), dists, self.max_degree)
+                graph.set_neighbors(nbr, merged)
+
+    def _repair_connectivity(self, graph: Graph) -> None:
+        """NSG's DFS-tree repair: link unreachable nodes from their nearest
+        reachable neighbor (found by a beam search on the partial graph)."""
+        computer = self.computer
+        reachable = graph.reachable_from(self.medoid)
+        unreachable = np.flatnonzero(~reachable)
+        visited_mask = np.zeros(graph.n, dtype=bool)
+        for node in unreachable:
+            node = int(node)
+            result = beam_search(
+                graph,
+                computer,
+                computer.data[node],
+                [self.medoid],
+                k=1,
+                beam_width=max(8, self.max_degree),
+                visited_mask=visited_mask,
+            )
+            anchor = int(result.ids[0]) if result.ids.size else self.medoid
+            graph.add_edge(anchor, node)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        n = self.computer.n
+        size = min(self.n_query_seeds, n)
+        picks = self._query_rng.choice(n, size=size, replace=False)
+        return np.unique(np.concatenate([picks, [self.medoid]]))
+
+    def memory_bytes(self) -> int:
+        """Final NSG adjacency only; the EFANNA base is build scaffolding."""
+        return super().memory_bytes()

@@ -1,0 +1,58 @@
+"""Navigable Small World (NSW) graph — Section 3.6.
+
+The original incremental-insertion method (Ponomarenko et al. / Malkov et
+al.): vertices are inserted in random order and connected with bi-directional
+edges to the ``m`` nearest nodes found by a beam search on the partial graph.
+Early-inserted edges survive as long-range links, giving the navigable
+small-world property.  NSW applies *no* diversification — it is the II+NoND
+point in the paper's taxonomy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.incremental import build_ii_graph
+from .base import BaseGraphIndex
+
+__all__ = ["NSWIndex"]
+
+
+class NSWIndex(BaseGraphIndex):
+    """Incrementally built small-world graph without neighborhood pruning."""
+
+    name = "NSW"
+
+    def __init__(
+        self,
+        m_connections: int = 16,
+        ef_construction: int = 64,
+        n_query_seeds: int = 4,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        if m_connections < 1:
+            raise ValueError("m_connections must be >= 1")
+        self.m_connections = m_connections
+        self.ef_construction = ef_construction
+        self.n_query_seeds = n_query_seeds
+
+    def _build(self, rng: np.random.Generator) -> None:
+        # NSW never prunes: reverse edges accumulate and early edges
+        # persist as the long-range links of the small-world topology
+        result = build_ii_graph(
+            self.computer,
+            max_degree=self.m_connections,
+            beam_width=self.ef_construction,
+            diversify="nond",
+            rng=rng,
+            track_pruning=False,
+            prune_overflow=False,
+        )
+        self.graph = result.graph
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        n = self.computer.n
+        size = min(self.n_query_seeds, n)
+        return self._query_rng.choice(n, size=size, replace=False)

@@ -1,0 +1,120 @@
+"""SPTAG — divide-and-conquer graph with tree seeds (Section 3.6).
+
+SPTAG clusters the dataset with several randomized TP-tree partitions,
+builds an *exact* k-NN graph inside every leaf, merges the per-partition
+lists (keeping each node's k best across partitions), and refines the merged
+neighborhoods with RND.  Seed selection uses either randomized K-D trees
+(SPTAG-KDT) or Balanced K-means Trees (SPTAG-BKT).
+
+The repeated partitioning plus per-leaf exact graphs is why SPTAG's indexing
+time is the worst in Figure 7 while its search — especially BKT's
+well-targeted seeds — is competitive on small datasets (Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.diversification import rnd
+from ..core.graph import Graph
+from ..trees.bkt import BKForest
+from ..trees.kdtree import KDForest
+from ..trees.tptree import TPTree
+from .base import BaseGraphIndex
+
+__all__ = ["SPTAGIndex"]
+
+
+class SPTAGIndex(BaseGraphIndex):
+    """TP-tree partitions + exact per-leaf k-NN graphs + RND refinement."""
+
+    name = "SPTAG"
+
+    def __init__(
+        self,
+        tree_type: str = "bkt",
+        k_neighbors: int = 16,
+        max_degree: int = 24,
+        n_partitions: int = 3,
+        leaf_size: int = 200,
+        n_seed_trees: int = 2,
+        seed_leaf_size: int = 32,
+        n_query_seeds: int = 24,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        tree_type = tree_type.lower()
+        if tree_type not in ("kdt", "bkt"):
+            raise ValueError("tree_type must be 'kdt' or 'bkt'")
+        self.tree_type = tree_type
+        self.name = f"SPTAG-{tree_type.upper()}"
+        self.k_neighbors = k_neighbors
+        self.max_degree = max_degree
+        self.n_partitions = n_partitions
+        self.leaf_size = leaf_size
+        self.n_seed_trees = n_seed_trees
+        self.seed_leaf_size = seed_leaf_size
+        self.n_query_seeds = n_query_seeds
+        self._seed_forest: KDForest | BKForest | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        n = computer.n
+        k = min(self.k_neighbors, n - 1)
+        best_ids = [np.empty(0, dtype=np.int64) for _ in range(n)]
+        best_dists = [np.empty(0, dtype=np.float64) for _ in range(n)]
+        for _ in range(self.n_partitions):
+            tree = TPTree.build(computer.data, self.leaf_size, rng)
+            for leaf in tree.leaves():
+                if leaf.size < 2:
+                    continue
+                dists = computer.many_to_many(leaf, leaf)
+                np.fill_diagonal(dists, np.inf)
+                kk = min(k, leaf.size - 1)
+                nearest = np.argpartition(dists, kk - 1, axis=1)[:, :kk]
+                for row, node in enumerate(leaf):
+                    node = int(node)
+                    ids = leaf[nearest[row]]
+                    merged_ids = np.concatenate([best_ids[node], ids])
+                    merged_d = np.concatenate(
+                        [best_dists[node], dists[row][nearest[row]]]
+                    )
+                    uniq, first = np.unique(merged_ids, return_index=True)
+                    merged_ids, merged_d = uniq, merged_d[first]
+                    order = np.argsort(merged_d, kind="stable")[:k]
+                    best_ids[node] = merged_ids[order]
+                    best_dists[node] = merged_d[order]
+        graph = Graph(n)
+        for node in range(n):
+            kept = rnd(
+                computer, best_ids[node], best_dists[node], self.max_degree
+            )
+            graph.set_neighbors(node, kept)
+        graph.make_undirected()
+        self.graph = graph
+        if self.tree_type == "kdt":
+            self._seed_forest = KDForest.build(
+                computer.data, self.n_seed_trees, self.seed_leaf_size, rng
+            )
+        else:
+            self._seed_forest = BKForest.build(
+                computer.data,
+                self.n_seed_trees,
+                self.seed_leaf_size,
+                branching=4,
+                rng=rng,
+            )
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        cands = self._seed_forest.search_candidates(query, self.n_query_seeds)
+        if cands.size == 0:
+            return np.asarray([0], dtype=np.int64)
+        return cands[: self.n_query_seeds * 2]
+
+    def memory_bytes(self) -> int:
+        """Graph plus the seed forest."""
+        total = super().memory_bytes()
+        if self._seed_forest is not None:
+            total += self._seed_forest.memory_bytes()
+        return total

@@ -1,0 +1,120 @@
+"""Satellite System Graph (SSG) — Section 3.6.
+
+SSG follows NSG's pipeline but differs in two ways the paper calls out:
+candidates come from a *breadth-first local expansion* on the EFANNA base
+graph (two hops) rather than a per-node beam search, and neighborhoods are
+pruned with MOND (angle threshold ``theta``) rather than RND.  Connectivity
+is repaired with DFS trees from *multiple* random roots instead of NSG's
+single medoid tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.beam_search import beam_search
+from ..core.diversification import get_diversifier
+from ..core.graph import Graph
+from .base import BaseGraphIndex
+from .efanna import EFANNAIndex
+
+__all__ = ["SSGIndex"]
+
+
+class SSGIndex(BaseGraphIndex):
+    """EFANNA base + 2-hop BFS candidates + MOND + multi-root DFS repair."""
+
+    name = "SSG"
+
+    def __init__(
+        self,
+        max_degree: int = 24,
+        theta_degrees: float = 60.0,
+        efanna_k: int = 20,
+        efanna_trees: int = 4,
+        n_repair_roots: int = 3,
+        n_query_seeds: int = 16,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        self.max_degree = max_degree
+        self.theta_degrees = theta_degrees
+        self.efanna_k = efanna_k
+        self.efanna_trees = efanna_trees
+        self.n_repair_roots = n_repair_roots
+        self.n_query_seeds = n_query_seeds
+        self.peak_build_bytes = 0
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        base = EFANNAIndex(
+            k_neighbors=self.efanna_k,
+            n_trees=self.efanna_trees,
+            seed=self.seed,
+        )
+        base.computer = computer
+        base._build(rng)
+        base_graph = base.graph
+        self.peak_build_bytes = base.memory_bytes()
+        diversifier = get_diversifier("mond", theta_degrees=self.theta_degrees)
+
+        graph = Graph(computer.n)
+        for node in range(computer.n):
+            # local expansion: direct neighbors plus neighbors-of-neighbors
+            one_hop = base_graph.neighbors(node)
+            if one_hop.size:
+                two_hop = np.concatenate(
+                    [base_graph.neighbors(int(nbr)) for nbr in one_hop]
+                )
+                pool = np.unique(np.concatenate([one_hop, two_hop]))
+            else:
+                pool = one_hop
+            pool = pool[pool != node]
+            if pool.size == 0:
+                continue
+            dists = computer.one_to_many(node, pool)
+            graph.set_neighbors(
+                node, diversifier(computer, pool, dists, self.max_degree)
+            )
+        self._add_reverse_edges(graph, diversifier)
+        self._repair_connectivity(graph, rng)
+        self.graph = graph
+
+    def _add_reverse_edges(self, graph: Graph, diversifier) -> None:
+        computer = self.computer
+        for node in range(graph.n):
+            for nbr in graph.neighbors(node).tolist():
+                merged = np.unique(np.concatenate([graph.neighbors(nbr), [node]]))
+                if merged.size > self.max_degree:
+                    dists = computer.one_to_many(nbr, merged)
+                    merged = diversifier(computer, merged, dists, self.max_degree)
+                graph.set_neighbors(nbr, merged)
+
+    def _repair_connectivity(self, graph: Graph, rng: np.random.Generator) -> None:
+        """DFS trees from several random roots; link stragglers to the graph."""
+        computer = self.computer
+        n = graph.n
+        roots = rng.choice(n, size=min(self.n_repair_roots, n), replace=False)
+        reachable = np.zeros(n, dtype=bool)
+        for root in roots:
+            reachable |= graph.reachable_from(int(root))
+        visited_mask = np.zeros(n, dtype=bool)
+        for node in np.flatnonzero(~reachable):
+            node = int(node)
+            result = beam_search(
+                graph,
+                computer,
+                computer.data[node],
+                [int(roots[0])],
+                k=1,
+                beam_width=max(8, self.max_degree),
+                visited_mask=visited_mask,
+            )
+            anchor = int(result.ids[0]) if result.ids.size else int(roots[0])
+            graph.add_edge(anchor, node)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        n = self.computer.n
+        size = min(self.n_query_seeds, n)
+        return self._query_rng.choice(n, size=size, replace=False)

@@ -1,0 +1,112 @@
+"""Vamana (DiskANN's graph) — Section 3.6.
+
+Vamana refines a random ``R``-regular base graph (degree >= log n keeps it
+connected) in two passes.  In each pass, every node runs a beam search from
+the medoid over the current graph; the visited list is pruned with RRND —
+``alpha = 1`` (plain RND) in the first pass, the user's ``alpha`` (>= 1,
+typically 1.2-1.3) in the second, which relaxes pruning to add connectivity.
+Bi-directional edges are inserted, and any overflowing neighbor list is
+re-pruned with RND.  Queries start at the medoid plus random seeds (MD+KS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.beam_search import beam_search
+from ..core.diversification import rnd, rrnd
+from ..core.graph import Graph
+from ..core.seeds import find_medoid
+from .base import BaseGraphIndex
+
+__all__ = ["VamanaIndex"]
+
+
+class VamanaIndex(BaseGraphIndex):
+    """Two-pass RRND refinement of a random regular graph."""
+
+    name = "Vamana"
+
+    def __init__(
+        self,
+        max_degree: int = 24,
+        build_beam_width: int = 64,
+        prune_pool_size: int = 64,
+        alpha: float = 1.3,
+        n_query_seeds: int = 16,
+        seed: int = 0,
+        default_beam_width: int = 64,
+    ):
+        super().__init__(seed, default_beam_width)
+        if alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+        self.max_degree = max_degree
+        self.build_beam_width = build_beam_width
+        self.prune_pool_size = prune_pool_size
+        self.alpha = alpha
+        self.n_query_seeds = n_query_seeds
+        self.medoid: int | None = None
+
+    def _build(self, rng: np.random.Generator) -> None:
+        computer = self.computer
+        n = computer.n
+        graph = self._random_regular_graph(n, rng)
+        self.medoid = find_medoid(computer)
+        for pass_alpha in (1.0, self.alpha):
+            self._refine_pass(graph, pass_alpha, rng)
+        self.graph = graph
+
+    def _random_regular_graph(self, n: int, rng: np.random.Generator) -> Graph:
+        """Random base graph with out-degree ``>= log2(n)`` for connectivity."""
+        degree = min(max(int(np.ceil(np.log2(max(n, 2)))), 4), self.max_degree, n - 1)
+        graph = Graph(n)
+        for node in range(n):
+            choices = rng.choice(n - 1, size=degree, replace=False)
+            choices[choices >= node] += 1
+            graph.set_neighbors(node, choices)
+        return graph
+
+    def _refine_pass(
+        self, graph: Graph, alpha: float, rng: np.random.Generator
+    ) -> None:
+        computer = self.computer
+        visited_mask = np.zeros(graph.n, dtype=bool)
+        order = rng.permutation(graph.n)
+        for node in order:
+            node = int(node)
+            result = beam_search(
+                graph,
+                computer,
+                computer.data[node],
+                [self.medoid],
+                k=self.build_beam_width,
+                beam_width=self.build_beam_width,
+                visited_mask=visited_mask,
+            )
+            extra = graph.neighbors(node)
+            extra_dists = computer.one_to_many(node, extra)
+            cand_ids = np.concatenate([result.visited, extra])
+            cand_dists = np.concatenate([result.visited_dists, extra_dists])
+            keep = cand_ids != node
+            cand_ids, cand_dists = cand_ids[keep], cand_dists[keep]
+            if cand_ids.size > self.prune_pool_size:
+                top = np.argpartition(cand_dists, self.prune_pool_size)[
+                    : self.prune_pool_size
+                ]
+                cand_ids, cand_dists = cand_ids[top], cand_dists[top]
+            kept = rrnd(computer, cand_ids, cand_dists, self.max_degree, alpha=alpha)
+            graph.set_neighbors(node, kept)
+            for nbr in kept:
+                nbr = int(nbr)
+                merged = np.concatenate([graph.neighbors(nbr), [node]])
+                if merged.size > self.max_degree:
+                    merged = np.unique(merged)
+                    dists = computer.one_to_many(nbr, merged)
+                    merged = rnd(computer, merged, dists, self.max_degree)
+                graph.set_neighbors(nbr, merged)
+
+    def _query_seeds(self, query: np.ndarray) -> np.ndarray:
+        n = self.computer.n
+        size = min(self.n_query_seeds, n)
+        picks = self._query_rng.choice(n, size=size, replace=False)
+        return np.unique(np.concatenate([picks, [self.medoid]]))

@@ -1,0 +1,1 @@
+"""summarization subpackage of the repro library."""

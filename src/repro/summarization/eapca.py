@@ -1,0 +1,113 @@
+"""Extended Adaptive Piecewise Constant Approximation (EAPCA) — Section 2.1.
+
+EAPCA summarizes each segment of a vector by both its *mean* and *standard
+deviation* (Wang et al., the summarization underlying the Hercules tree that
+ELPIS partitions with).  This module provides:
+
+* the ``(mean, std)`` per-segment transform;
+* a rectangle ("synopsis") over a set of vectors: per-segment min/max of the
+  means and stds;
+* a provable lower bound on the Euclidean distance from a query to *any*
+  vector inside the rectangle, used by ELPIS to prune whole leaves.
+
+The mean-gap part of the bound is the classic PAA/Cauchy-Schwarz argument;
+the std term is omitted from the bound (kept only as a descriptive statistic)
+so the bound stays provably admissible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .paa import segment_bounds
+
+__all__ = ["eapca_transform", "EAPCASynopsis"]
+
+
+def eapca_transform(data: np.ndarray, n_segments: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``(means, stds)`` of each row — two ``(n, s)`` arrays."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    bounds = segment_bounds(data.shape[1], n_segments)
+    n = data.shape[0]
+    means = np.empty((n, n_segments), dtype=np.float64)
+    stds = np.empty((n, n_segments), dtype=np.float64)
+    for seg in range(n_segments):
+        chunk = data[:, bounds[seg] : bounds[seg + 1]]
+        means[:, seg] = chunk.mean(axis=1)
+        stds[:, seg] = chunk.std(axis=1)
+    return means, stds
+
+
+@dataclass
+class EAPCASynopsis:
+    """Bounding rectangle of a point set in EAPCA space.
+
+    Attributes
+    ----------
+    mean_min, mean_max, std_min, std_max:
+        ``(n_segments,)`` envelopes over the summarized points.
+    dim:
+        Original vector dimensionality (needed for segment lengths).
+    """
+
+    mean_min: np.ndarray
+    mean_max: np.ndarray
+    std_min: np.ndarray
+    std_max: np.ndarray
+    dim: int
+
+    @classmethod
+    def from_points(cls, data: np.ndarray, n_segments: int) -> "EAPCASynopsis":
+        """Summarize ``data`` rows and take per-segment envelopes."""
+        means, stds = eapca_transform(data, n_segments)
+        return cls(
+            mean_min=means.min(axis=0),
+            mean_max=means.max(axis=0),
+            std_min=stds.min(axis=0),
+            std_max=stds.max(axis=0),
+            dim=int(np.atleast_2d(data).shape[1]),
+        )
+
+    @property
+    def n_segments(self) -> int:
+        """Number of EAPCA segments."""
+        return int(self.mean_min.shape[0])
+
+    def lower_bound(self, query: np.ndarray) -> float:
+        """Admissible lower bound on ``min_{x in leaf} ||query - x||``.
+
+        For each segment the query's segment mean is at least
+        ``gap = max(0, mean_min - q, q - mean_max)`` away from every member's
+        segment mean, and by Cauchy-Schwarz the true distance restricted to
+        that segment is at least ``sqrt(len_s) * gap``.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        bounds = segment_bounds(self.dim, self.n_segments)
+        lengths = np.diff(bounds).astype(np.float64)
+        q_means = np.empty(self.n_segments, dtype=np.float64)
+        for seg in range(self.n_segments):
+            q_means[seg] = query[bounds[seg] : bounds[seg + 1]].mean()
+        gap = np.maximum(
+            0.0, np.maximum(self.mean_min - q_means, q_means - self.mean_max)
+        )
+        return float(np.sqrt((lengths * gap**2).sum()))
+
+    def split_score(self) -> np.ndarray:
+        """Per-segment spread, used to pick the Hercules split segment.
+
+        The score is the envelope width of the mean plus that of the std —
+        segments whose summaries vary most across the node's points are the
+        most informative splits.
+        """
+        return (self.mean_max - self.mean_min) + (self.std_max - self.std_min)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the four envelope arrays."""
+        return (
+            self.mean_min.nbytes
+            + self.mean_max.nbytes
+            + self.std_min.nbytes
+            + self.std_max.nbytes
+        )

@@ -1,0 +1,59 @@
+"""Piecewise Aggregate Approximation (PAA) — Section 2.1.
+
+PAA segments a vector into ``n_segments`` equal-length pieces and summarizes
+each by its mean.  It underlies SAX and provides a provable lower bound on
+the Euclidean distance between two vectors of the same length (Keogh et al.),
+which is what makes summary-space pruning safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_bounds", "paa_transform", "paa_lower_bound"]
+
+
+def segment_bounds(dim: int, n_segments: int) -> np.ndarray:
+    """Start offsets of ``n_segments`` near-equal segments of a length-``dim`` vector.
+
+    Returns an array of ``n_segments + 1`` boundaries; segment ``s`` covers
+    ``[bounds[s], bounds[s+1])``.  Remainder dimensions are spread over the
+    leading segments.
+    """
+    if not 1 <= n_segments <= dim:
+        raise ValueError(f"n_segments must be in [1, {dim}], got {n_segments}")
+    base = dim // n_segments
+    remainder = dim % n_segments
+    sizes = np.full(n_segments, base, dtype=np.int64)
+    sizes[:remainder] += 1
+    bounds = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def paa_transform(data: np.ndarray, n_segments: int) -> np.ndarray:
+    """Per-segment means of each row of ``data`` — shape ``(n, n_segments)``."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    bounds = segment_bounds(data.shape[1], n_segments)
+    out = np.empty((data.shape[0], n_segments), dtype=np.float64)
+    for seg in range(n_segments):
+        out[:, seg] = data[:, bounds[seg] : bounds[seg + 1]].mean(axis=1)
+    return out
+
+
+def paa_lower_bound(
+    paa_a: np.ndarray, paa_b: np.ndarray, dim: int
+) -> np.ndarray:
+    """Lower bound on Euclidean distance from two PAA summaries.
+
+    ``sqrt(sum_s len_s * (a_s - b_s)^2) <= ||A - B||`` by Cauchy-Schwarz
+    applied per segment.  Accepts ``(n_segments,)`` or ``(n, n_segments)``
+    arrays and broadcasts.
+    """
+    paa_a = np.asarray(paa_a, dtype=np.float64)
+    paa_b = np.asarray(paa_b, dtype=np.float64)
+    n_segments = paa_a.shape[-1]
+    bounds = segment_bounds(dim, n_segments)
+    lengths = np.diff(bounds).astype(np.float64)
+    sq = (lengths * (paa_a - paa_b) ** 2).sum(axis=-1)
+    return np.sqrt(np.maximum(sq, 0.0))

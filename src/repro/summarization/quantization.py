@@ -1,0 +1,138 @@
+"""Scalar and product quantization — Section 2.1.
+
+Scalar quantization maps each dimension independently onto a uniform grid;
+product quantization (Jégou et al.) splits the vector into sub-vectors and
+vector-quantizes each with a small k-means codebook.  These summarizers back
+the paper's discussion of inverted-index methods (IVF-PQ/IMI) and provide the
+asymmetric-distance estimates used by the survey examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clustering.kmeans import kmeans
+
+__all__ = ["ScalarQuantizer", "ProductQuantizer"]
+
+
+@dataclass
+class ScalarQuantizer:
+    """Uniform per-dimension scalar quantizer with ``bits`` of precision."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    bits: int
+
+    @classmethod
+    def fit(cls, data: np.ndarray, bits: int = 8) -> "ScalarQuantizer":
+        """Learn per-dimension ranges from ``data``."""
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        return cls(lo=data.min(axis=0), hi=data.max(axis=0), bits=bits)
+
+    @property
+    def levels(self) -> int:
+        """Number of quantization levels per dimension."""
+        return (1 << self.bits) - 1
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Quantize rows to integer codes (clipped to the fitted range)."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 1.0)
+        scaled = (data - self.lo) / span
+        codes = np.clip(np.round(scaled * self.levels), 0, self.levels)
+        return codes.astype(np.uint16 if self.bits > 8 else np.uint8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.float64))
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 1.0)
+        return self.lo + (codes / self.levels) * span
+
+    def max_error(self) -> float:
+        """Worst-case reconstruction error (half a cell per dimension)."""
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 0.0)
+        per_dim = span / (2.0 * self.levels)
+        return float(np.sqrt((per_dim**2).sum()))
+
+
+class ProductQuantizer:
+    """Product quantizer: ``n_subspaces`` independent k-means codebooks."""
+
+    def __init__(self, codebooks: list[np.ndarray], dim: int):
+        self.codebooks = codebooks
+        self.dim = dim
+        self.n_subspaces = len(codebooks)
+        self._bounds = np.linspace(0, dim, self.n_subspaces + 1).astype(np.int64)
+
+    @classmethod
+    def fit(
+        cls,
+        data: np.ndarray,
+        n_subspaces: int = 8,
+        n_centroids: int = 16,
+        rng: np.random.Generator | None = None,
+    ) -> "ProductQuantizer":
+        """Train one ``n_centroids``-word codebook per subspace."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        dim = data.shape[1]
+        if not 1 <= n_subspaces <= dim:
+            raise ValueError(f"n_subspaces must be in [1, {dim}]")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        bounds = np.linspace(0, dim, n_subspaces + 1).astype(np.int64)
+        codebooks = []
+        for sub in range(n_subspaces):
+            chunk = data[:, bounds[sub] : bounds[sub + 1]]
+            k = min(n_centroids, chunk.shape[0])
+            codebooks.append(kmeans(chunk, k, rng, max_iterations=15).centroids)
+        return cls(codebooks, dim)
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Codes of each row — ``(n, n_subspaces)`` uint16 centroid ids."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        codes = np.empty((data.shape[0], self.n_subspaces), dtype=np.uint16)
+        for sub in range(self.n_subspaces):
+            chunk = data[:, self._bounds[sub] : self._bounds[sub + 1]]
+            book = self.codebooks[sub]
+            sq = (
+                (chunk**2).sum(axis=1)[:, None]
+                - 2.0 * (chunk @ book.T)
+                + (book**2).sum(axis=1)[None, :]
+            )
+            codes[:, sub] = sq.argmin(axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        out = np.empty((codes.shape[0], self.dim), dtype=np.float64)
+        for sub in range(self.n_subspaces):
+            out[:, self._bounds[sub] : self._bounds[sub + 1]] = self.codebooks[sub][
+                codes[:, sub]
+            ]
+        return out
+
+    def asymmetric_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """ADC distance estimate from a raw query to encoded vectors.
+
+        Precomputes per-subspace lookup tables (query-to-centroid squared
+        distances) and sums table entries per code — the standard IVF-PQ
+        scan kernel.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        total = np.zeros(codes.shape[0], dtype=np.float64)
+        for sub in range(self.n_subspaces):
+            q_chunk = query[self._bounds[sub] : self._bounds[sub + 1]]
+            table = ((self.codebooks[sub] - q_chunk) ** 2).sum(axis=1)
+            total += table[codes[:, sub]]
+        return np.sqrt(np.maximum(total, 0.0))
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the codebooks."""
+        return int(sum(book.nbytes for book in self.codebooks))

@@ -1,0 +1,87 @@
+"""Symbolic Aggregate Approximation (SAX) — Section 2.1.
+
+SAX applies PAA and then discretizes each segment mean into one of
+``alphabet_size`` symbols using Gaussian-quantile breakpoints.  Included for
+completeness of the paper's summarization survey; the MINDIST lower bound is
+provided and property-tested against the true Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .paa import paa_transform, segment_bounds
+
+__all__ = ["gaussian_breakpoints", "sax_transform", "sax_mindist"]
+
+
+def gaussian_breakpoints(alphabet_size: int) -> np.ndarray:
+    """The ``alphabet_size - 1`` standard-normal quantile breakpoints."""
+    if alphabet_size < 2:
+        raise ValueError("alphabet_size must be >= 2")
+    probs = np.arange(1, alphabet_size) / alphabet_size
+    # inverse normal CDF via Acklam's rational approximation (no scipy dep)
+    return _norm_ppf(probs)
+
+
+def _norm_ppf(p: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam approximation, ~1e-9 accurate)."""
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p = np.asarray(p, dtype=np.float64)
+    out = np.empty_like(p)
+    low = p < 0.02425
+    high = p > 1 - 0.02425
+    mid = ~(low | high)
+    if low.any():
+        q = np.sqrt(-2 * np.log(p[low]))
+        out[low] = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if high.any():
+        q = np.sqrt(-2 * np.log(1 - p[high]))
+        out[high] = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if mid.any():
+        q = p[mid] - 0.5
+        r = q * q
+        out[mid] = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    return out
+
+
+def sax_transform(
+    data: np.ndarray, n_segments: int, alphabet_size: int = 8
+) -> np.ndarray:
+    """SAX words of each row — an ``(n, n_segments)`` int array of symbols."""
+    paa = paa_transform(data, n_segments)
+    breakpoints = gaussian_breakpoints(alphabet_size)
+    return np.searchsorted(breakpoints, paa).astype(np.int64)
+
+
+def sax_mindist(
+    word_a: np.ndarray,
+    word_b: np.ndarray,
+    dim: int,
+    alphabet_size: int = 8,
+) -> float:
+    """The SAX MINDIST lower bound between two SAX words (Lin et al.)."""
+    word_a = np.asarray(word_a, dtype=np.int64)
+    word_b = np.asarray(word_b, dtype=np.int64)
+    breakpoints = gaussian_breakpoints(alphabet_size)
+    hi = np.maximum(word_a, word_b)
+    lo = np.minimum(word_a, word_b)
+    cell = np.zeros(word_a.shape[-1], dtype=np.float64)
+    apart = hi - lo > 1
+    cell[apart] = breakpoints[hi[apart] - 1] - breakpoints[lo[apart]]
+    bounds = segment_bounds(dim, word_a.shape[-1])
+    lengths = np.diff(bounds).astype(np.float64)
+    return float(np.sqrt((lengths * cell**2).sum()))

@@ -1,0 +1,1 @@
+"""trees subpackage of the repro library."""

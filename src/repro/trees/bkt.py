@@ -1,0 +1,165 @@
+"""Balanced K-means Tree (BKT) — SPTAG-BKT's seed structure.
+
+Each internal node partitions its points into ``branching`` balanced k-means
+clusters; recursion stops at ``leaf_size``.  Query-time seed retrieval walks
+the tree best-first by centroid distance, collecting ids from the most
+promising leaves (Section 3.3, strategy "KM").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering.kmeans import balanced_kmeans
+
+__all__ = ["BKTree", "BKForest"]
+
+
+@dataclass
+class _BKTNode:
+    centroid: np.ndarray
+    point_ids: np.ndarray | None = None  # leaves only
+    children: "list[_BKTNode]" = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node stores points directly."""
+        return self.point_ids is not None
+
+
+class BKTree:
+    """One balanced k-means tree over a set of dataset ids."""
+
+    def __init__(self, root: _BKTNode, leaf_size: int, branching: int):
+        self._root = root
+        self.leaf_size = leaf_size
+        self.branching = branching
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        ids: np.ndarray,
+        leaf_size: int,
+        branching: int,
+        rng: np.random.Generator,
+    ) -> "BKTree":
+        """Recursively cluster ``data[ids]`` into a balanced tree."""
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        ids = np.asarray(ids, dtype=np.int64)
+        root = cls._build_node(data, ids, leaf_size, branching, rng)
+        return cls(root, leaf_size, branching)
+
+    @staticmethod
+    def _build_node(
+        data: np.ndarray,
+        ids: np.ndarray,
+        leaf_size: int,
+        branching: int,
+        rng: np.random.Generator,
+    ) -> _BKTNode:
+        centroid = data[ids].mean(axis=0)
+        if ids.size <= leaf_size or ids.size <= branching:
+            return _BKTNode(centroid=centroid, point_ids=ids)
+        result = balanced_kmeans(data[ids], branching, rng, max_iterations=8)
+        node = _BKTNode(centroid=centroid)
+        for cluster in range(branching):
+            members = ids[result.labels == cluster]
+            if members.size == 0:
+                continue
+            node.children.append(
+                BKTree._build_node(data, members, leaf_size, branching, rng)
+            )
+        if not node.children:  # clustering degenerated; make a leaf
+            return _BKTNode(centroid=centroid, point_ids=ids)
+        return node
+
+    def search_candidates(self, query: np.ndarray, n_candidates: int) -> np.ndarray:
+        """Best-first centroid-guided descent collecting leaf ids."""
+        query = np.asarray(query, dtype=np.float64)
+        counter = 0
+        heap: list[tuple[float, int, _BKTNode]] = [(0.0, counter, self._root)]
+        collected: list[np.ndarray] = []
+        total = 0
+        while heap and total < n_candidates:
+            _, _, node = heapq.heappop(heap)
+            if node.is_leaf:
+                collected.append(node.point_ids)
+                total += node.point_ids.size
+                continue
+            for child in node.children:
+                diff = query - child.centroid
+                counter += 1
+                heapq.heappush(heap, (float(diff @ diff), counter, child))
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(collected))
+
+    def leaves(self) -> list[np.ndarray]:
+        """All leaf id arrays."""
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node.point_ids)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes: leaf ids plus per-node centroids."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += node.centroid.nbytes + 64
+            if node.is_leaf:
+                total += node.point_ids.nbytes
+            else:
+                stack.extend(node.children)
+        return total
+
+
+class BKForest:
+    """Multiple BKTrees searched together (SPTAG builds several)."""
+
+    def __init__(self, trees: list[BKTree]):
+        if not trees:
+            raise ValueError("need at least one tree")
+        self.trees = trees
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        n_trees: int,
+        leaf_size: int,
+        branching: int,
+        rng: np.random.Generator,
+        ids: np.ndarray | None = None,
+    ) -> "BKForest":
+        """Build ``n_trees`` balanced k-means trees."""
+        if ids is None:
+            ids = np.arange(data.shape[0], dtype=np.int64)
+        trees = [
+            BKTree.build(data, ids, leaf_size, branching, rng)
+            for _ in range(n_trees)
+        ]
+        return cls(trees)
+
+    def search_candidates(self, query: np.ndarray, n_candidates: int) -> np.ndarray:
+        """Union of per-tree candidate sets."""
+        per_tree = max(1, n_candidates // len(self.trees))
+        parts = [t.search_candidates(query, per_tree) for t in self.trees]
+        return np.unique(np.concatenate(parts))
+
+    def memory_bytes(self) -> int:
+        """Total bytes across all trees."""
+        return sum(t.memory_bytes() for t in self.trees)

@@ -1,0 +1,132 @@
+"""Hercules EAPCA tree — ELPIS's divide-and-conquer partitioner.
+
+ELPIS (Section 3.6) splits the dataset with the Hercules tree (Echihabi et
+al.): a binary tree whose nodes summarize their points in EAPCA space and
+split on the segment whose summaries vary the most.  Each *leaf* becomes a
+partition on which ELPIS builds an HNSW graph; at query time, leaves are
+ranked and pruned by the admissible EAPCA lower-bound distance of the query
+to the leaf's synopsis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..summarization.eapca import EAPCASynopsis, eapca_transform
+
+__all__ = ["HerculesTree", "HerculesLeaf"]
+
+
+@dataclass
+class HerculesLeaf:
+    """One partition: its point ids and its EAPCA synopsis."""
+
+    point_ids: np.ndarray
+    synopsis: EAPCASynopsis
+
+
+@dataclass
+class _HNode:
+    synopsis: EAPCASynopsis
+    point_ids: np.ndarray | None = None  # leaves only
+    split_segment: int = -1
+    split_value: float = 0.0
+    left: "_HNode | None" = None
+    right: "_HNode | None" = None
+    children: list = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node stores points directly."""
+        return self.point_ids is not None
+
+
+class HerculesTree:
+    """EAPCA-splitting binary tree producing ELPIS partitions."""
+
+    def __init__(self, root: _HNode, n_segments: int, leaf_size: int):
+        self._root = root
+        self.n_segments = n_segments
+        self.leaf_size = leaf_size
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        leaf_size: int,
+        n_segments: int = 8,
+        ids: np.ndarray | None = None,
+    ) -> "HerculesTree":
+        """Partition ``data`` into EAPCA-coherent leaves of ``<= leaf_size``."""
+        if leaf_size < 2:
+            raise ValueError("leaf_size must be >= 2")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n_segments = min(n_segments, data.shape[1])
+        if ids is None:
+            ids = np.arange(data.shape[0], dtype=np.int64)
+        root = cls._build_node(data, np.asarray(ids, dtype=np.int64), leaf_size, n_segments)
+        return cls(root, n_segments, leaf_size)
+
+    @staticmethod
+    def _build_node(
+        data: np.ndarray, ids: np.ndarray, leaf_size: int, n_segments: int
+    ) -> _HNode:
+        synopsis = EAPCASynopsis.from_points(data[ids], n_segments)
+        if ids.size <= leaf_size:
+            return _HNode(synopsis=synopsis, point_ids=ids)
+        # split on the segment whose EAPCA summaries vary the most,
+        # at the median of the per-point segment means
+        means, _ = eapca_transform(data[ids], n_segments)
+        seg = int(np.argmax(synopsis.split_score()))
+        values = means[:, seg]
+        split_value = float(np.median(values))
+        left_mask = values < split_value
+        if not left_mask.any() or left_mask.all():
+            order = np.argsort(values, kind="stable")
+            left_mask = np.zeros(ids.size, dtype=bool)
+            left_mask[order[: ids.size // 2]] = True
+        node = _HNode(synopsis=synopsis, split_segment=seg, split_value=split_value)
+        node.left = HerculesTree._build_node(data, ids[left_mask], leaf_size, n_segments)
+        node.right = HerculesTree._build_node(data, ids[~left_mask], leaf_size, n_segments)
+        return node
+
+    def leaves(self) -> list[HerculesLeaf]:
+        """All partitions, left-to-right."""
+        out: list[HerculesLeaf] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(HerculesLeaf(node.point_ids, node.synopsis))
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return out
+
+    def rank_leaves(self, query: np.ndarray) -> list[tuple[float, HerculesLeaf]]:
+        """Leaves sorted by ascending EAPCA lower bound to ``query``.
+
+        The first leaf is ELPIS's heuristic initial partition; the bounds of
+        the rest drive its pruning against the best-so-far answer.
+        """
+        ranked = [
+            (leaf.synopsis.lower_bound(query), leaf) for leaf in self.leaves()
+        ]
+        ranked.sort(key=lambda pair: pair[0])
+        return ranked
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes across nodes, synopses, and leaf id arrays."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 64 + node.synopsis.memory_bytes()
+            if node.is_leaf:
+                total += node.point_ids.nbytes
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return total

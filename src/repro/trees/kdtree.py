@@ -1,0 +1,218 @@
+"""Randomized truncated K-D trees.
+
+Substrate for three uses in the paper: the "KD" seed-selection strategy
+(Section 3.3), EFANNA's initial-graph construction (leaf co-membership gives
+each point its first candidate neighbors), and the entry-point structures of
+SPTAG-KDT and HCNNG.
+
+The trees are *randomized* (the split dimension is drawn from the highest-
+variance dimensions, as in FLANN/EFANNA) and *truncated* (splitting stops at
+``leaf_size`` points, so leaves hold candidate pools rather than single
+points).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KDTree", "KDForest"]
+
+_TOP_VARIANCE_DIMS = 5
+
+
+@dataclass
+class _Node:
+    """Internal or leaf node; leaves carry point ids."""
+
+    point_ids: np.ndarray | None = None  # set on leaves only
+    split_dim: int = -1
+    split_value: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node stores points directly."""
+        return self.point_ids is not None
+
+
+@dataclass
+class KDTree:
+    """One randomized truncated K-D tree over a set of dataset ids."""
+
+    leaf_size: int
+    _root: _Node = field(default_factory=_Node, repr=False)
+    _n_nodes: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        ids: np.ndarray,
+        leaf_size: int,
+        rng: np.random.Generator,
+    ) -> "KDTree":
+        """Build a tree over ``data[ids]``.
+
+        Parameters
+        ----------
+        data:
+            Full ``(n, d)`` dataset; the tree stores only ids.
+        ids:
+            Which rows of ``data`` this tree indexes.
+        leaf_size:
+            Maximum points per leaf.
+        rng:
+            Source of split-dimension randomness.
+        """
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        tree = cls(leaf_size=leaf_size)
+        ids = np.asarray(ids, dtype=np.int64)
+        tree._root = tree._build_node(data, ids, rng)
+        return tree
+
+    def _build_node(
+        self, data: np.ndarray, ids: np.ndarray, rng: np.random.Generator
+    ) -> _Node:
+        self._n_nodes += 1
+        if ids.size <= self.leaf_size:
+            return _Node(point_ids=ids)
+        subset = data[ids]
+        variances = subset.var(axis=0)
+        top = np.argsort(-variances, kind="stable")[:_TOP_VARIANCE_DIMS]
+        split_dim = int(rng.choice(top))
+        values = subset[:, split_dim]
+        split_value = float(np.median(values))
+        left_mask = values < split_value
+        # guard against degenerate splits on constant dimensions
+        if not left_mask.any() or left_mask.all():
+            left_mask = np.zeros(ids.size, dtype=bool)
+            left_mask[: ids.size // 2] = True
+        node = _Node(split_dim=split_dim, split_value=split_value)
+        node.left = self._build_node(data, ids[left_mask], rng)
+        node.right = self._build_node(data, ids[~left_mask], rng)
+        return node
+
+    # ------------------------------------------------------------------
+    def leaf_of(self, query: np.ndarray) -> np.ndarray:
+        """Ids stored in the single leaf the query descends into."""
+        node = self._root
+        while not node.is_leaf:
+            if query[node.split_dim] < node.split_value:
+                node = node.left
+            else:
+                node = node.right
+        return node.point_ids
+
+    def search_candidates(self, query: np.ndarray, n_candidates: int) -> np.ndarray:
+        """Best-first traversal collecting ids from the most promising leaves.
+
+        Uses the usual branch-and-bound priority queue ordered by the
+        accumulated splitting-plane distance; returns at least
+        ``n_candidates`` ids (or every indexed id if fewer exist).
+        """
+        collected: list[np.ndarray] = []
+        total = 0
+        counter = 0  # tie-breaker so heap never compares nodes
+        heap: list[tuple[float, int, _Node]] = [(0.0, counter, self._root)]
+        while heap and total < n_candidates:
+            margin, _, node = heapq.heappop(heap)
+            while not node.is_leaf:
+                diff = float(query[node.split_dim] - node.split_value)
+                if diff < 0:
+                    near, far = node.left, node.right
+                else:
+                    near, far = node.right, node.left
+                counter += 1
+                heapq.heappush(heap, (margin + diff * diff, counter, far))
+                node = near
+            collected.append(node.point_ids)
+            total += node.point_ids.size
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(collected))[: max(n_candidates, 1) * 4]
+
+    def leaves(self) -> list[np.ndarray]:
+        """All leaf id arrays (used by EFANNA's initial graph)."""
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node.point_ids)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return out
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by nodes and leaf id arrays."""
+        leaf_bytes = sum(leaf.nbytes for leaf in self.leaves())
+        return leaf_bytes + self._n_nodes * 64
+
+
+class KDForest:
+    """A set of independently randomized K-D trees searched together."""
+
+    def __init__(self, trees: list[KDTree]):
+        if not trees:
+            raise ValueError("need at least one tree")
+        self.trees = trees
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        n_trees: int,
+        leaf_size: int,
+        rng: np.random.Generator,
+        ids: np.ndarray | None = None,
+    ) -> "KDForest":
+        """Build ``n_trees`` randomized trees over ``data`` (or ``data[ids]``)."""
+        if ids is None:
+            ids = np.arange(data.shape[0], dtype=np.int64)
+        trees = [
+            KDTree.build(data, ids, leaf_size, rng) for _ in range(n_trees)
+        ]
+        return cls(trees)
+
+    def search_candidates(self, query: np.ndarray, n_candidates: int) -> np.ndarray:
+        """Union of per-tree candidate sets."""
+        per_tree = max(1, n_candidates // len(self.trees))
+        parts = [t.search_candidates(query, per_tree) for t in self.trees]
+        return np.unique(np.concatenate(parts))
+
+    def initial_neighbor_lists(
+        self, n: int, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """EFANNA initialization: neighbors sampled from leaf co-members.
+
+        Returns an ``(n, k)`` id matrix; ids are drawn from the leaves each
+        point falls in across all trees (padded randomly when a point has
+        fewer than ``k`` distinct co-members).
+        """
+        pools: list[list[int]] = [[] for _ in range(n)]
+        for tree in self.trees:
+            for leaf in tree.leaves():
+                members = leaf.tolist()
+                for point in members:
+                    pools[point].extend(members)
+        out = np.empty((n, k), dtype=np.int64)
+        for point in range(n):
+            pool = np.unique(np.asarray(pools[point], dtype=np.int64))
+            pool = pool[pool != point]
+            if pool.size >= k:
+                out[point] = rng.choice(pool, size=k, replace=False)
+            else:
+                extra = rng.choice(n - 1, size=k - pool.size, replace=False)
+                extra[extra >= point] += 1
+                out[point] = np.concatenate([pool, extra])[:k]
+        return out
+
+    def memory_bytes(self) -> int:
+        """Total bytes across all trees."""
+        return sum(t.memory_bytes() for t in self.trees)

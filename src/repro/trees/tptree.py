@@ -1,0 +1,126 @@
+"""Trinary-Projection (TP) trees — SPTAG's partitioning structure.
+
+A TP tree splits each node by a *trinary projection*: a sparse direction
+formed as a signed combination of a few coordinate axes (weights in
+{-1, 0, +1}), chosen to maximize the projected variance, with the split at
+the median projection.  SPTAG runs several randomized TP-tree partitions of
+the whole dataset and builds an exact k-NN graph inside every leaf
+(Section 3.6, "SPTAG").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TPTree"]
+
+_CANDIDATE_DIRECTIONS = 8
+_AXES_PER_DIRECTION = 3
+
+
+@dataclass
+class _TPNode:
+    point_ids: np.ndarray | None = None
+    axes: np.ndarray | None = None
+    signs: np.ndarray | None = None
+    split_value: float = 0.0
+    left: "_TPNode | None" = None
+    right: "_TPNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node stores points directly."""
+        return self.point_ids is not None
+
+
+class TPTree:
+    """One randomized trinary-projection tree used for leaf partitioning."""
+
+    def __init__(self, root: _TPNode, leaf_size: int):
+        self._root = root
+        self.leaf_size = leaf_size
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        leaf_size: int,
+        rng: np.random.Generator,
+        ids: np.ndarray | None = None,
+    ) -> "TPTree":
+        """Partition ``data`` (or ``data[ids]``) down to ``leaf_size`` leaves."""
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if ids is None:
+            ids = np.arange(data.shape[0], dtype=np.int64)
+        root = cls._build_node(data, np.asarray(ids, dtype=np.int64), leaf_size, rng)
+        return cls(root, leaf_size)
+
+    @staticmethod
+    def _build_node(
+        data: np.ndarray,
+        ids: np.ndarray,
+        leaf_size: int,
+        rng: np.random.Generator,
+    ) -> _TPNode:
+        if ids.size <= leaf_size:
+            return _TPNode(point_ids=ids)
+        subset = data[ids]
+        d = data.shape[1]
+        n_axes = min(_AXES_PER_DIRECTION, d)
+        best: tuple[float, np.ndarray, np.ndarray, np.ndarray] | None = None
+        for _ in range(_CANDIDATE_DIRECTIONS):
+            axes = rng.choice(d, size=n_axes, replace=False)
+            signs = rng.choice(np.asarray([-1.0, 1.0]), size=n_axes)
+            projection = subset[:, axes] @ signs
+            variance = float(projection.var())
+            if best is None or variance > best[0]:
+                best = (variance, axes, signs, projection)
+        _, axes, signs, projection = best
+        split_value = float(np.median(projection))
+        left_mask = projection < split_value
+        if not left_mask.any() or left_mask.all():
+            left_mask = np.zeros(ids.size, dtype=bool)
+            left_mask[: ids.size // 2] = True
+        node = _TPNode(axes=axes, signs=signs, split_value=split_value)
+        node.left = TPTree._build_node(data, ids[left_mask], leaf_size, rng)
+        node.right = TPTree._build_node(data, ids[~left_mask], leaf_size, rng)
+        return node
+
+    def leaves(self) -> list[np.ndarray]:
+        """All leaf id arrays (the partitions SPTAG builds graphs on)."""
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node.point_ids)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return out
+
+    def leaf_of(self, query: np.ndarray) -> np.ndarray:
+        """Ids of the leaf the query projects into."""
+        node = self._root
+        while not node.is_leaf:
+            projection = float(query[node.axes] @ node.signs)
+            node = node.left if projection < node.split_value else node.right
+        return node.point_ids
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes: leaf ids plus internal node metadata."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 64
+            if node.is_leaf:
+                total += node.point_ids.nbytes
+            else:
+                total += node.axes.nbytes + node.signs.nbytes
+                stack.append(node.left)
+                stack.append(node.right)
+        return total

@@ -1,0 +1,145 @@
+"""Vantage-point tree — NGT's seed-selection structure.
+
+A VP tree recursively picks a vantage point and splits the remaining points
+by the median distance to it.  NGT uses one to find good entry nodes for its
+graph search (Section 3.6, "NGT").  Search is branch-and-bound with the
+triangle inequality and returns the ids of the ``k`` closest points found
+within the examined budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VPTree"]
+
+
+@dataclass
+class _VPNode:
+    vantage: int = -1
+    radius: float = 0.0
+    inside: "_VPNode | None" = None
+    outside: "_VPNode | None" = None
+    point_ids: np.ndarray | None = None  # leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node stores points directly."""
+        return self.point_ids is not None
+
+
+class VPTree:
+    """Vantage-point tree over dataset ids, with budgeted k-NN search."""
+
+    def __init__(self, root: _VPNode, data: np.ndarray, leaf_size: int):
+        self._root = root
+        self._data = data
+        self.leaf_size = leaf_size
+        #: distance evaluations performed by the most recent search() call,
+        #: so callers can charge seed-selection work to their query accounting
+        self.last_examined = 0
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        leaf_size: int,
+        rng: np.random.Generator,
+        ids: np.ndarray | None = None,
+    ) -> "VPTree":
+        """Build over ``data`` (or ``data[ids]``)."""
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if ids is None:
+            ids = np.arange(data.shape[0], dtype=np.int64)
+        data64 = np.asarray(data, dtype=np.float64)
+        root = cls._build_node(data64, np.asarray(ids, dtype=np.int64), leaf_size, rng)
+        return cls(root, data64, leaf_size)
+
+    @staticmethod
+    def _build_node(
+        data: np.ndarray,
+        ids: np.ndarray,
+        leaf_size: int,
+        rng: np.random.Generator,
+    ) -> _VPNode:
+        if ids.size <= leaf_size:
+            return _VPNode(point_ids=ids)
+        pick = int(rng.integers(ids.size))
+        vantage = int(ids[pick])
+        rest = np.delete(ids, pick)
+        dists = np.sqrt(((data[rest] - data[vantage]) ** 2).sum(axis=1))
+        radius = float(np.median(dists))
+        inside_mask = dists < radius
+        if not inside_mask.any() or inside_mask.all():
+            return _VPNode(point_ids=ids)
+        node = _VPNode(vantage=vantage, radius=radius)
+        node.inside = VPTree._build_node(data, rest[inside_mask], leaf_size, rng)
+        node.outside = VPTree._build_node(data, rest[~inside_mask], leaf_size, rng)
+        return node
+
+    def search(self, query: np.ndarray, k: int, max_examined: int = 256) -> np.ndarray:
+        """Approximate k-NN ids of ``query`` under an examination budget.
+
+        Best-first branch-and-bound; the budget caps how many stored points
+        have their distance evaluated, making the cost predictable when used
+        for seed selection.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        best: list[tuple[float, int]] = []  # max-heap by negated distance
+        examined = 0
+        counter = 0
+        heap: list[tuple[float, int, _VPNode]] = [(0.0, counter, self._root)]
+
+        def offer(ids: np.ndarray) -> None:
+            """Score candidate ids against the running top-k."""
+            nonlocal examined
+            dists = np.sqrt(((self._data[ids] - query) ** 2).sum(axis=1))
+            examined += ids.size
+            for dist, node_id in zip(dists, ids):
+                if len(best) < k:
+                    heapq.heappush(best, (-float(dist), int(node_id)))
+                elif -best[0][0] > dist:
+                    heapq.heapreplace(best, (-float(dist), int(node_id)))
+
+        while heap and examined < max_examined:
+            bound, _, node = heapq.heappop(heap)
+            if len(best) == k and bound > -best[0][0]:
+                continue
+            if node.is_leaf:
+                offer(node.point_ids)
+                continue
+            offer(np.asarray([node.vantage], dtype=np.int64))
+            dist_v = float(
+                np.sqrt(((self._data[node.vantage] - query) ** 2).sum())
+            )
+            near, far = (
+                (node.inside, node.outside)
+                if dist_v < node.radius
+                else (node.outside, node.inside)
+            )
+            margin = abs(dist_v - node.radius)
+            counter += 1
+            heapq.heappush(heap, (bound, counter, near))
+            counter += 1
+            heapq.heappush(heap, (max(bound, margin), counter, far))
+        self.last_examined = examined
+        ordered = sorted((-d, i) for d, i in best)
+        return np.asarray([i for _, i in ordered], dtype=np.int64)
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by nodes and leaf id arrays."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 64
+            if node.is_leaf:
+                total += node.point_ids.nbytes
+            else:
+                stack.append(node.inside)
+                stack.append(node.outside)
+        return total

@@ -1,0 +1,63 @@
+"""Unit tests for random hierarchical bisection."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.hierarchical import random_bisection_clusters
+from repro.core.distances import DistanceComputer
+
+
+@pytest.fixture()
+def computer():
+    gen = np.random.default_rng(0)
+    return DistanceComputer(gen.normal(size=(200, 5)).astype(np.float32))
+
+
+def test_clusters_partition(computer):
+    clusters = random_bisection_clusters(computer, 20, np.random.default_rng(0))
+    all_ids = np.concatenate(clusters)
+    assert sorted(all_ids.tolist()) == list(range(200))
+
+
+def test_cluster_size_bound(computer):
+    clusters = random_bisection_clusters(computer, 20, np.random.default_rng(0))
+    for cluster in clusters:
+        assert cluster.size <= 20
+
+
+def test_rejects_bad_min_size(computer):
+    with pytest.raises(ValueError):
+        random_bisection_clusters(computer, 1, np.random.default_rng(0))
+
+
+def test_different_seeds_differ(computer):
+    a = random_bisection_clusters(computer, 20, np.random.default_rng(0))
+    b = random_bisection_clusters(computer, 20, np.random.default_rng(1))
+    sa = sorted(tuple(sorted(c.tolist())) for c in a)
+    sb = sorted(tuple(sorted(c.tolist())) for c in b)
+    assert sa != sb
+
+
+def test_subset(computer):
+    ids = np.arange(50, 100)
+    clusters = random_bisection_clusters(
+        computer, 10, np.random.default_rng(0), ids=ids
+    )
+    assert set(np.concatenate(clusters).tolist()) == set(ids.tolist())
+
+
+def test_duplicate_points_halved():
+    computer = DistanceComputer(np.ones((16, 3), dtype=np.float32))
+    clusters = random_bisection_clusters(computer, 4, np.random.default_rng(0))
+    assert sum(c.size for c in clusters) == 16
+
+
+def test_clusters_are_spatially_coherent(computer):
+    """Points in a cluster should be closer to each other than random pairs."""
+    clusters = random_bisection_clusters(computer, 25, np.random.default_rng(2))
+    biggest = max(clusters, key=lambda c: c.size)
+    within = computer.many_to_many(biggest, biggest)
+    within_mean = within[np.triu_indices(biggest.size, 1)].mean()
+    sample = np.random.default_rng(0).choice(200, size=biggest.size, replace=False)
+    across = computer.many_to_many(biggest, sample).mean()
+    assert within_mean < across * 1.05

@@ -1,0 +1,87 @@
+"""Unit tests for k-means and balanced k-means."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import balanced_kmeans, kmeans
+
+
+@pytest.fixture()
+def blobs():
+    gen = np.random.default_rng(0)
+    centers = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+    labels = gen.integers(3, size=90)
+    return centers[labels] + 0.2 * gen.normal(size=(90, 2)), labels
+
+
+def test_kmeans_rejects_bad_k(blobs):
+    data, _ = blobs
+    with pytest.raises(ValueError):
+        kmeans(data, 0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        kmeans(data, 91, np.random.default_rng(0))
+
+
+def test_kmeans_recovers_blobs(blobs):
+    data, truth = blobs
+    result = kmeans(data, 3, np.random.default_rng(0))
+    # clusters must be pure: every true blob maps to one predicted label
+    for blob in range(3):
+        predicted = result.labels[truth == blob]
+        assert len(set(predicted.tolist())) == 1
+
+
+def test_kmeans_inertia_decreases_with_k(blobs):
+    data, _ = blobs
+    inertias = [
+        kmeans(data, k, np.random.default_rng(0)).inertia for k in (1, 3, 9)
+    ]
+    assert inertias[0] > inertias[1] > inertias[2]
+
+
+def test_kmeans_labels_in_range(blobs):
+    data, _ = blobs
+    result = kmeans(data, 5, np.random.default_rng(1))
+    assert result.labels.min() >= 0
+    assert result.labels.max() < 5
+
+
+def test_kmeans_k_equals_n():
+    data = np.arange(6, dtype=float).reshape(6, 1)
+    result = kmeans(data, 6, np.random.default_rng(0))
+    assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+
+def test_balanced_kmeans_respects_cap(blobs):
+    data, _ = blobs
+    result = balanced_kmeans(data, 4, np.random.default_rng(0))
+    counts = np.bincount(result.labels, minlength=4)
+    assert counts.max() <= -(-90 // 4)
+
+
+def test_balanced_kmeans_assigns_everyone(blobs):
+    data, _ = blobs
+    result = balanced_kmeans(data, 4, np.random.default_rng(0))
+    assert (result.labels >= 0).all()
+
+
+def test_balanced_kmeans_rejects_bad_k(blobs):
+    data, _ = blobs
+    with pytest.raises(ValueError):
+        balanced_kmeans(data, 0, np.random.default_rng(0))
+
+
+def test_balanced_vs_plain_inertia(blobs):
+    """Balancing can only cost inertia, never gain it (on balanced blobs
+    of equal size they should be close)."""
+    data, _ = blobs
+    plain = kmeans(data, 3, np.random.default_rng(0)).inertia
+    balanced = balanced_kmeans(data, 3, np.random.default_rng(0)).inertia
+    assert balanced >= plain * 0.99
+
+
+def test_balanced_kmeans_exact_split():
+    data = np.arange(8, dtype=float).reshape(8, 1)
+    result = balanced_kmeans(data, 2, np.random.default_rng(0))
+    counts = np.bincount(result.labels, minlength=2)
+    assert counts.tolist() == [4, 4]

@@ -1,0 +1,87 @@
+"""Unit tests for MST construction."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.mst import degree_bounded_mst, mst_edges
+from repro.core.distances import DistanceComputer
+
+
+@pytest.fixture()
+def computer():
+    gen = np.random.default_rng(0)
+    return DistanceComputer(gen.normal(size=(40, 4)).astype(np.float32))
+
+
+def test_mst_edge_count(computer):
+    edges = mst_edges(computer, np.arange(20))
+    assert len(edges) == 19
+
+
+def test_mst_spans_all(computer):
+    edges = mst_edges(computer, np.arange(20))
+    nodes = set()
+    for a, b, _ in edges:
+        nodes.add(a)
+        nodes.add(b)
+    assert nodes == set(range(20))
+
+
+def test_mst_total_weight_optimal_on_line():
+    data = np.arange(10, dtype=np.float32)[:, None]
+    computer = DistanceComputer(data)
+    edges = mst_edges(computer, np.arange(10))
+    assert sum(w for _, _, w in edges) == pytest.approx(9.0)
+
+
+def test_mst_trivial_sizes(computer):
+    assert mst_edges(computer, np.array([3])) == []
+    assert mst_edges(computer, np.array([], dtype=np.int64)) == []
+
+
+def test_mst_matches_networkx(computer):
+    networkx = pytest.importorskip("networkx")
+    ids = np.arange(15)
+    ours = sum(w for _, _, w in mst_edges(computer, ids))
+    g = networkx.Graph()
+    dists = computer.many_to_many(ids, ids)
+    for i in range(15):
+        for j in range(i + 1, 15):
+            g.add_edge(i, j, weight=dists[i, j])
+    theirs = sum(
+        d["weight"] for _, _, d in networkx.minimum_spanning_edges(g, data=True)
+    )
+    assert ours == pytest.approx(theirs, rel=1e-9)
+
+
+def test_degree_bounded_respects_cap(computer):
+    edges = degree_bounded_mst(computer, np.arange(30), max_degree=3)
+    degree = {}
+    for a, b in edges:
+        degree[a] = degree.get(a, 0) + 1
+        degree[b] = degree.get(b, 0) + 1
+    assert max(degree.values()) <= 3
+
+
+def test_degree_bounded_rejects_bad_cap(computer):
+    with pytest.raises(ValueError):
+        degree_bounded_mst(computer, np.arange(10), max_degree=0)
+
+
+def test_degree_bounded_nearly_spanning(computer):
+    """With cap 3 the forest is usually one tree on random data."""
+    edges = degree_bounded_mst(computer, np.arange(30), max_degree=3)
+    assert len(edges) >= 27
+
+
+def test_degree_bounded_uses_subset_ids(computer):
+    ids = np.array([5, 9, 14, 20, 33])
+    edges = degree_bounded_mst(computer, ids, max_degree=3)
+    for a, b in edges:
+        assert a in ids and b in ids
+
+
+def test_distance_accounting(computer):
+    computer.reset()
+    mst_edges(computer, np.arange(10))
+    assert computer.count == 100  # dense 10x10 block

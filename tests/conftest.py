@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic datasets and prebuilt structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import build_ii_graph
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20250706)
+
+
+@pytest.fixture(scope="session")
+def small_data():
+    """300 clustered points in 12 dimensions (easy search)."""
+    gen = np.random.default_rng(7)
+    centers = gen.normal(size=(6, 12)) * 3.0
+    labels = gen.integers(6, size=300)
+    return (centers[labels] + 0.3 * gen.normal(size=(300, 12))).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def small_computer(small_data):
+    return DistanceComputer(small_data)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_data):
+    """An II+RND graph over small_data, shared across read-only tests."""
+    computer = DistanceComputer(small_data)
+    result = build_ii_graph(
+        computer,
+        max_degree=8,
+        beam_width=24,
+        diversify="rnd",
+        rng=np.random.default_rng(3),
+    )
+    return computer, result.graph
+
+
+@pytest.fixture()
+def tiny_queries():
+    gen = np.random.default_rng(11)
+    return gen.normal(size=(5, 12)).astype(np.float32)

@@ -1,0 +1,66 @@
+"""Focused tests for the build-time seed providers (Table 2's mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import RandomBuildSeeds, StackedNSWBuildSeeds
+
+
+@pytest.fixture()
+def computer(small_data):
+    return DistanceComputer(small_data)
+
+
+def test_random_seeds_sample_from_inserted(computer):
+    provider = RandomBuildSeeds(n_seeds=3)
+    inserted = [5, 9, 14]
+    rng = np.random.default_rng(0)
+    seeds = provider.seeds_for(2, inserted, computer, rng)
+    assert set(seeds) <= set(inserted)
+    assert 1 <= len(seeds) <= 3
+
+
+def test_sn_first_insert_becomes_entry(computer):
+    provider = StackedNSWBuildSeeds(max_degree=8)
+    provider.on_insert(42, computer, np.random.default_rng(0))
+    assert provider.entry == 42
+
+
+def test_sn_seeds_before_any_entry_fall_back(computer):
+    provider = StackedNSWBuildSeeds(max_degree=8)
+    seeds = provider.seeds_for(0, [7], computer, np.random.default_rng(0))
+    assert seeds == [7]
+
+
+def test_sn_layers_grow_with_insertions(computer):
+    provider = StackedNSWBuildSeeds(max_degree=4)  # low M -> many layers
+    rng = np.random.default_rng(1)
+    for node in range(computer.n):
+        provider.on_insert(node, computer, rng)
+    assert len(provider.layers) >= 1
+    # layer populations shrink going up (geometric sampling, Eq. 1)
+    sizes = [len(layer) for layer in provider.layers]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_sn_descent_returns_inserted_node(computer):
+    provider = StackedNSWBuildSeeds(max_degree=8)
+    rng = np.random.default_rng(2)
+    inserted = []
+    for node in range(50):
+        if inserted:
+            seeds = provider.seeds_for(node, inserted, computer, rng)
+            assert all(s in inserted for s in seeds)
+        provider.on_insert(node, computer, rng)
+        inserted.append(node)
+
+
+def test_sn_seed_descent_charges_distance_calls(computer):
+    provider = StackedNSWBuildSeeds(max_degree=4)
+    rng = np.random.default_rng(3)
+    for node in range(60):
+        provider.on_insert(node, computer, rng)
+    mark = computer.checkpoint()
+    provider.seeds_for(61, list(range(60)), computer, rng)
+    assert computer.since(mark) >= 1

@@ -1,0 +1,157 @@
+"""Unit tests for the distance engine and its accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distances import DistanceComputer, euclidean, pairwise_euclidean
+
+
+@pytest.fixture()
+def computer():
+    gen = np.random.default_rng(0)
+    return DistanceComputer(gen.normal(size=(50, 8)).astype(np.float32))
+
+
+def test_euclidean_matches_numpy():
+    a = np.array([1.0, 2.0, 3.0])
+    b = np.array([4.0, 6.0, 3.0])
+    assert euclidean(a, b) == pytest.approx(5.0)
+
+
+def test_euclidean_zero_for_identical():
+    v = np.arange(5, dtype=float)
+    assert euclidean(v, v) == 0.0
+
+
+def test_pairwise_shape_and_symmetry():
+    gen = np.random.default_rng(1)
+    a = gen.normal(size=(7, 4))
+    d = pairwise_euclidean(a, a)
+    assert d.shape == (7, 7)
+    assert np.allclose(d, d.T)
+    assert np.allclose(np.diag(d), 0.0, atol=1e-6)
+
+
+def test_pairwise_matches_direct():
+    gen = np.random.default_rng(2)
+    a, b = gen.normal(size=(5, 6)), gen.normal(size=(4, 6))
+    d = pairwise_euclidean(a, b)
+    for i in range(5):
+        for j in range(4):
+            assert d[i, j] == pytest.approx(euclidean(a[i], b[j]), rel=1e-9)
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        DistanceComputer(np.zeros(10))
+
+
+def test_to_query_counts(computer):
+    computer.reset()
+    computer.to_query(np.arange(10), np.zeros(8))
+    assert computer.count == 10
+
+
+def test_to_query_values(computer):
+    q = np.full(8, 0.5)
+    dists = computer.to_query(np.arange(5), q)
+    for i in range(5):
+        assert dists[i] == pytest.approx(euclidean(computer.data[i], q), rel=1e-6)
+
+
+def test_one_to_query_counts_one(computer):
+    computer.reset()
+    d = computer.one_to_query(3, np.zeros(8))
+    assert computer.count == 1
+    assert d == pytest.approx(euclidean(computer.data[3], np.zeros(8)), rel=1e-6)
+
+
+def test_between_symmetric(computer):
+    assert computer.between(1, 2) == pytest.approx(computer.between(2, 1))
+
+
+def test_one_to_many_matches_between(computer):
+    dists = computer.one_to_many(0, np.array([1, 2, 3]))
+    for offset, j in enumerate([1, 2, 3]):
+        assert dists[offset] == pytest.approx(computer.between(0, j), rel=1e-9)
+
+
+def test_many_to_many_counts_product(computer):
+    computer.reset()
+    d = computer.many_to_many(np.arange(4), np.arange(6))
+    assert computer.count == 24
+    assert d.shape == (4, 6)
+
+
+def test_checkpoint_since(computer):
+    mark = computer.checkpoint()
+    computer.to_query(np.arange(7), np.zeros(8))
+    assert computer.since(mark) == 7
+
+
+def test_exact_knn_returns_sorted(computer):
+    ids, dists = computer.exact_knn(computer.data[5], 10)
+    assert ids[0] == 5
+    assert dists[0] == pytest.approx(0.0, abs=1e-5)
+    assert np.all(np.diff(dists) >= 0)
+
+
+def test_exact_knn_counts_full_scan(computer):
+    computer.reset()
+    computer.exact_knn(np.zeros(8), 3)
+    assert computer.count == computer.n
+
+
+def test_exact_knn_k_larger_than_n(computer):
+    ids, dists = computer.exact_knn(np.zeros(8), 500)
+    assert ids.size == computer.n
+
+
+def test_memory_bytes_positive(computer):
+    assert computer.memory_bytes() >= computer.data.nbytes
+
+
+def test_prepared_query_matches_to_query(computer):
+    q = np.linspace(-1, 1, 8)
+    q64, q_sq = computer.prepare_query(q)
+    ids = np.arange(10)
+    assert np.allclose(
+        computer.to_query_prepared(ids, q64, q_sq), computer.to_query(ids, q)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=20),
+        elements=st.floats(-100, 100, width=32),
+    )
+)
+def test_property_distances_nonnegative_and_consistent(data):
+    computer = DistanceComputer(data)
+    q = data[0]
+    dists = computer.to_query(np.arange(computer.n), q)
+    assert np.all(dists >= 0)
+    assert dists[0] == pytest.approx(0.0, abs=1e-3)
+    brute = np.sqrt(((data.astype(np.float64) - q.astype(np.float64)) ** 2).sum(axis=1))
+    assert np.allclose(dists, brute, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=hnp.arrays(
+        np.float32,
+        (6, 5),
+        elements=st.floats(-50, 50, width=32),
+    )
+)
+def test_property_triangle_inequality(data):
+    computer = DistanceComputer(data)
+    d01 = computer.between(0, 1)
+    d12 = computer.between(1, 2)
+    d02 = computer.between(0, 2)
+    assert d02 <= d01 + d12 + 1e-6

@@ -1,0 +1,226 @@
+"""Unit and property tests for the four ND strategies (Section 3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import DistanceComputer
+from repro.core.diversification import (
+    DIVERSIFIERS,
+    PruneCounter,
+    get_diversifier,
+    mond,
+    nond,
+    pruning_ratio,
+    rnd,
+    rrnd,
+)
+
+
+@pytest.fixture()
+def planar():
+    """The Figure 2 scenario: x_q at origin, candidates at various angles."""
+    # index 0 = x_q; 1..4 = X1..X4 laid out similar to the paper's figure
+    pts = np.array(
+        [
+            [0.0, 0.0],    # x_q
+            [1.0, 0.0],    # X1: closest
+            [1.4, 0.45],   # X2: close to X1's direction
+            [1.2, 1.1],    # X3: mid angle
+            [-0.6, 1.6],   # X4: opposite direction
+        ],
+        dtype=np.float32,
+    )
+    computer = DistanceComputer(pts)
+    cand = np.array([1, 2, 3, 4])
+    dists = computer.to_query(cand, pts[0])
+    computer.reset()
+    return computer, cand, dists
+
+
+def test_nond_keeps_closest(planar):
+    computer, cand, dists = planar
+    kept = nond(computer, cand, dists, 2)
+    assert kept.tolist() == [1, 2]
+
+
+def test_nond_uses_no_distance_calls(planar):
+    computer, cand, dists = planar
+    nond(computer, cand, dists, 3)
+    assert computer.count == 0
+
+
+def test_rnd_prunes_shadowed_candidates(planar):
+    computer, cand, dists = planar
+    kept = rnd(computer, cand, dists, 4)
+    # X1 always kept; X2 shadowed by X1; X4 survives (opposite side)
+    assert 1 in kept
+    assert 2 not in kept
+    assert 4 in kept
+
+
+def test_rrnd_relaxation_keeps_more(planar):
+    computer, cand, dists = planar
+    strict = rnd(computer, cand, dists, 4)
+    relaxed = rrnd(computer, cand, dists, 4, alpha=1.6)
+    assert set(strict.tolist()) <= set(relaxed.tolist())
+    assert len(relaxed) >= len(strict)
+
+
+def test_rrnd_alpha_one_equals_rnd(planar):
+    computer, cand, dists = planar
+    assert rrnd(computer, cand, dists, 4, alpha=1.0).tolist() == rnd(
+        computer, cand, dists, 4
+    ).tolist()
+
+
+def test_rrnd_rejects_alpha_below_one(planar):
+    computer, cand, dists = planar
+    with pytest.raises(ValueError):
+        rrnd(computer, cand, dists, 4, alpha=0.5)
+
+
+def test_mond_prunes_small_angles(planar):
+    computer, cand, dists = planar
+    kept = mond(computer, cand, dists, 4, theta_degrees=60.0)
+    assert 1 in kept
+    assert 2 not in kept  # angle(X1, xq, X2) < 60
+    assert 4 in kept
+
+
+def test_mond_theta_zero_keeps_all_distinct_directions(planar):
+    computer, cand, dists = planar
+    kept = mond(computer, cand, dists, 4, theta_degrees=0.0)
+    assert len(kept) >= 3
+
+
+def test_mond_rejects_bad_theta(planar):
+    computer, cand, dists = planar
+    with pytest.raises(ValueError):
+        mond(computer, cand, dists, 4, theta_degrees=200.0)
+
+
+def test_mond_drops_duplicate_of_query():
+    pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]], dtype=np.float32)
+    computer = DistanceComputer(pts)
+    cand = np.array([1, 2])
+    dists = computer.to_query(cand, pts[0])
+    kept = mond(computer, cand, dists, 2)
+    assert 1 in kept  # zero-distance candidate admitted first
+    # the second candidate is evaluated against it without crashing
+
+
+def test_all_strategies_respect_max_degree(planar):
+    computer, cand, dists = planar
+    for name, fn in DIVERSIFIERS.items():
+        kept = fn(computer, cand, dists, 1)
+        assert len(kept) <= 1, name
+
+
+def test_all_strategies_first_pick_is_nearest(planar):
+    computer, cand, dists = planar
+    for name, fn in DIVERSIFIERS.items():
+        kept = fn(computer, cand, dists, 4)
+        assert kept[0] == 1, name
+
+
+def test_candidates_deduplicated(planar):
+    computer, cand, dists = planar
+    doubled = np.concatenate([cand, cand])
+    doubled_d = np.concatenate([dists, dists])
+    kept = rnd(computer, doubled, doubled_d, 4)
+    assert len(set(kept.tolist())) == len(kept)
+
+
+def test_mismatched_inputs_raise(planar):
+    computer, cand, dists = planar
+    with pytest.raises(ValueError):
+        rnd(computer, cand, dists[:2], 4)
+
+
+def test_get_diversifier_binds_params(planar):
+    computer, cand, dists = planar
+    bound = get_diversifier("rrnd", alpha=1.6)
+    assert bound(computer, cand, dists, 4).tolist() == rrnd(
+        computer, cand, dists, 4, alpha=1.6
+    ).tolist()
+
+
+def test_get_diversifier_unknown():
+    with pytest.raises(KeyError):
+        get_diversifier("nope")
+
+
+def test_prune_counter_tracks(planar):
+    computer, cand, dists = planar
+    stats = PruneCounter()
+    rnd(computer, cand, dists, 4, stats=stats)
+    assert stats.examined == 4
+    assert stats.rejected >= 1
+    assert 0 < stats.ratio() < 1
+
+
+def test_prune_counter_empty_ratio():
+    assert PruneCounter().ratio() == 0.0
+
+
+def test_pruning_ratio_helper():
+    assert pruning_ratio(10, 8) == pytest.approx(0.2)
+    assert pruning_ratio(0, 0) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(5, 40))
+def test_property_rrnd_predicate_monotone_in_alpha(seed, n):
+    """The RRND acceptance predicate relaxes with alpha (paper, §3.4).
+
+    The paper's claim — anything pruned by RRND is pruned by RND — holds at
+    the *predicate* level against a fixed selected set: if a candidate
+    passes Eq. 2 (alpha = 1) it passes Eq. 3 for every alpha >= 1.  (The
+    sequential algorithms themselves can diverge because earlier decisions
+    change the selected set.)
+    """
+    gen = np.random.default_rng(seed)
+    pts = gen.normal(size=(n, 4)).astype(np.float32)
+    computer = DistanceComputer(pts)
+    selected = gen.choice(np.arange(1, n), size=min(4, n - 2), replace=False)
+    cand = int(gen.integers(1, n))
+    dist_q = computer.between(0, cand)
+    to_selected = computer.one_to_many(cand, selected)
+    accepts = [
+        bool(np.all(dist_q < alpha * to_selected)) for alpha in (1.0, 1.3, 2.0)
+    ]
+    # acceptance can only turn on, never off, as alpha grows
+    assert accepts == sorted(accepts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_first_rejection_agrees_rnd_vs_rrnd(seed):
+    """On the first pruning decision the selected sets coincide, so RND
+    rejecting implies nothing, but RND *accepting* implies RRND accepts."""
+    gen = np.random.default_rng(seed)
+    pts = gen.normal(size=(25, 3)).astype(np.float32)
+    computer = DistanceComputer(pts)
+    cand = np.arange(1, 25)
+    dists = computer.to_query(cand, pts[0])
+    kept_rnd = rnd(computer, cand, dists, 2)
+    kept_rrnd = rrnd(computer, cand, dists, 2, alpha=1.4)
+    # both keep the same nearest; if RND accepted a second, RRND must too
+    assert kept_rnd[0] == kept_rrnd[0]
+    if len(kept_rnd) == 2:
+        assert len(kept_rrnd) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_kept_ids_come_from_candidates(seed):
+    gen = np.random.default_rng(seed)
+    pts = gen.normal(size=(15, 3)).astype(np.float32)
+    computer = DistanceComputer(pts)
+    cand = np.arange(1, 15)
+    dists = computer.to_query(cand, pts[0])
+    for fn in DIVERSIFIERS.values():
+        kept = fn(computer, cand, dists, 8)
+        assert set(kept.tolist()) <= set(cand.tolist())

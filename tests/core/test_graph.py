@@ -1,0 +1,113 @@
+"""Unit tests for the adjacency-list graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import Graph
+
+
+def test_rejects_negative_n():
+    with pytest.raises(ValueError):
+        Graph(-1)
+
+
+def test_empty_graph():
+    g = Graph(3)
+    assert g.num_edges() == 0
+    assert g.degree(0) == 0
+
+
+def test_set_neighbors_dedupes_and_drops_self():
+    g = Graph(5)
+    g.set_neighbors(0, [1, 2, 2, 0, 3])
+    assert sorted(g.neighbors(0).tolist()) == [1, 2, 3]
+
+
+def test_set_neighbors_preserves_order():
+    g = Graph(5)
+    g.set_neighbors(0, [3, 1, 2])
+    assert g.neighbors(0).tolist() == [3, 1, 2]
+
+
+def test_add_edge_idempotent():
+    g = Graph(3)
+    g.add_edge(0, 1)
+    g.add_edge(0, 1)
+    assert g.degree(0) == 1
+
+
+def test_add_edge_ignores_self_loop():
+    g = Graph(3)
+    g.add_edge(1, 1)
+    assert g.degree(1) == 0
+
+
+def test_degrees_and_num_edges():
+    g = Graph(4)
+    g.set_neighbors(0, [1, 2])
+    g.set_neighbors(1, [2])
+    assert g.degrees().tolist() == [2, 1, 0, 0]
+    assert g.num_edges() == 3
+
+
+def test_reverse_edges():
+    g = Graph(3)
+    g.set_neighbors(0, [1])
+    g.set_neighbors(1, [2])
+    rev = g.reverse_edges()
+    assert rev[1] == [0]
+    assert rev[2] == [1]
+    assert rev[0] == []
+
+
+def test_make_undirected():
+    g = Graph(3)
+    g.set_neighbors(0, [1])
+    g.make_undirected()
+    assert 0 in g.neighbors(1)
+
+
+def test_reachable_from_chain():
+    g = Graph(4)
+    g.set_neighbors(0, [1])
+    g.set_neighbors(1, [2])
+    mask = g.reachable_from(0)
+    assert mask.tolist() == [True, True, True, False]
+
+
+def test_is_connected_from():
+    g = Graph(3)
+    g.set_neighbors(0, [1, 2])
+    assert g.is_connected_from(0)
+    assert not g.is_connected_from(2)
+
+
+def test_to_csr_roundtrip():
+    g = Graph(3)
+    g.set_neighbors(0, [2, 1])
+    g.set_neighbors(2, [0])
+    indptr, indices = g.to_csr()
+    assert indptr.tolist() == [0, 2, 2, 3]
+    assert indices[indptr[0]:indptr[1]].tolist() == [2, 1]
+    assert indices[indptr[2]:indptr[3]].tolist() == [0]
+
+
+def test_from_neighbor_lists():
+    g = Graph.from_neighbor_lists([[1], [0, 2], []])
+    assert g.n == 3
+    assert g.neighbors(1).tolist() == [0, 2]
+
+
+def test_copy_is_independent():
+    g = Graph(2)
+    g.set_neighbors(0, [1])
+    h = g.copy()
+    h.set_neighbors(0, [])
+    assert g.degree(0) == 1
+
+
+def test_memory_bytes_grows_with_edges():
+    g = Graph(10)
+    before = g.memory_bytes()
+    g.set_neighbors(0, list(range(1, 10)))
+    assert g.memory_bytes() > before

@@ -1,0 +1,165 @@
+"""Unit tests for the linear-buffer queue and bounded heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heap import BoundedMaxHeap, NeighborQueue
+
+
+def test_queue_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        NeighborQueue(0)
+
+
+def test_insert_keeps_sorted():
+    q = NeighborQueue(5)
+    for d, i in [(3.0, 1), (1.0, 2), (2.0, 3)]:
+        assert q.insert(d, i)
+    ids, dists = q.entries()
+    assert list(dists) == [1.0, 2.0, 3.0]
+    assert list(ids) == [2, 3, 1]
+
+
+def test_insert_rejects_duplicates():
+    q = NeighborQueue(5)
+    assert q.insert(1.0, 7)
+    assert not q.insert(0.5, 7)
+    assert len(q) == 1
+
+
+def test_insert_evicts_worst_at_capacity():
+    q = NeighborQueue(3)
+    for d, i in [(1.0, 1), (2.0, 2), (3.0, 3)]:
+        q.insert(d, i)
+    assert q.insert(1.5, 4)
+    ids, dists = q.entries()
+    assert 3 not in ids
+    assert list(dists) == [1.0, 1.5, 2.0]
+
+
+def test_insert_rejects_worse_than_worst_when_full():
+    q = NeighborQueue(2)
+    q.insert(1.0, 1)
+    q.insert(2.0, 2)
+    assert not q.insert(5.0, 3)
+
+
+def test_evicted_id_can_be_reinserted():
+    q = NeighborQueue(2)
+    q.insert(1.0, 1)
+    q.insert(2.0, 2)
+    q.insert(1.5, 3)  # evicts 2
+    assert 2 not in q
+    assert q.insert(0.5, 2)
+
+
+def test_pop_nearest_unexpanded_order():
+    q = NeighborQueue(4)
+    for d, i in [(4.0, 4), (1.0, 1), (3.0, 3), (2.0, 2)]:
+        q.insert(d, i)
+    assert [q.pop_nearest_unexpanded() for _ in range(5)] == [1, 2, 3, 4, None]
+
+
+def test_pop_sees_newly_inserted_closer_entries():
+    q = NeighborQueue(4)
+    q.insert(2.0, 1)
+    assert q.pop_nearest_unexpanded() == 1
+    q.insert(1.0, 2)  # closer than anything expanded
+    assert q.pop_nearest_unexpanded() == 2
+
+
+def test_worst_dist_inf_until_full():
+    q = NeighborQueue(2)
+    q.insert(1.0, 1)
+    assert q.worst_dist() == float("inf")
+    q.insert(2.0, 2)
+    assert q.worst_dist() == 2.0
+
+
+def test_top_k():
+    q = NeighborQueue(5)
+    for d, i in [(5.0, 5), (1.0, 1), (3.0, 3)]:
+        q.insert(d, i)
+    ids, dists = q.top_k(2)
+    assert list(ids) == [1, 3]
+
+
+def test_contains():
+    q = NeighborQueue(2)
+    q.insert(1.0, 9)
+    assert 9 in q
+    assert 8 not in q
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.floats(0, 1000, allow_nan=False), st.integers(0, 50)),
+        min_size=1,
+        max_size=60,
+    ),
+    capacity=st.integers(1, 20),
+)
+def test_property_queue_invariants(entries, capacity):
+    """Structural invariants: sorted, unique ids, bounded, offered pairs only.
+
+    (Exact top-k semantics are deliberately not asserted: a rejected insert
+    does not register its id, so a later closer duplicate may re-enter —
+    matching the single-buffer behaviour of the C++ code bases.)
+    """
+    q = NeighborQueue(capacity)
+    offered = set()
+    for d, i in entries:
+        q.insert(d, i)
+        offered.add((d, i))
+    ids, dists = q.entries()
+    assert len(ids) <= capacity
+    assert len(set(ids.tolist())) == len(ids)
+    assert np.all(np.diff(dists) >= 0)
+    for d, i in zip(dists.tolist(), ids.tolist()):
+        assert (d, i) in offered
+
+
+def test_heap_rejects_bad_k():
+    with pytest.raises(ValueError):
+        BoundedMaxHeap(0)
+
+
+def test_heap_keeps_k_smallest():
+    h = BoundedMaxHeap(3)
+    for d, i in [(5.0, 5), (1.0, 1), (4.0, 4), (2.0, 2), (3.0, 3)]:
+        h.push(d, i)
+    ids, dists = h.sorted_items()
+    assert list(ids) == [1, 2, 3]
+    assert list(dists) == [1.0, 2.0, 3.0]
+
+
+def test_heap_worst_dist():
+    h = BoundedMaxHeap(2)
+    assert h.worst_dist() == float("inf")
+    h.push(1.0, 1)
+    assert h.worst_dist() == float("inf")
+    h.push(3.0, 3)
+    assert h.worst_dist() == 3.0
+    h.push(2.0, 2)
+    assert h.worst_dist() == 2.0
+
+
+def test_heap_empty_sorted_items():
+    ids, dists = BoundedMaxHeap(2).sorted_items()
+    assert ids.size == 0 and dists.size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=40),
+    k=st.integers(1, 10),
+)
+def test_property_heap_matches_sorted_prefix(values, k):
+    h = BoundedMaxHeap(k)
+    for idx, v in enumerate(values):
+        h.push(v, idx)
+    _, dists = h.sorted_items()
+    assert dists.tolist() == pytest.approx(sorted(values)[:k])

@@ -1,0 +1,151 @@
+"""Unit tests for the II builder apparatus and its build seed providers."""
+
+import numpy as np
+import pytest
+
+from repro.core.beam_search import beam_search
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import (
+    RandomBuildSeeds,
+    StackedNSWBuildSeeds,
+    build_ii_graph,
+)
+
+
+@pytest.fixture()
+def computer(small_data):
+    return DistanceComputer(small_data)
+
+
+def test_build_produces_connected_enough_graph(computer):
+    result = build_ii_graph(
+        computer, max_degree=8, beam_width=24, rng=np.random.default_rng(0)
+    )
+    graph = result.graph
+    assert graph.n == computer.n
+    # II graphs with bidirectional edges should reach nearly all nodes
+    reachable = graph.reachable_from(0).sum()
+    assert reachable > 0.95 * computer.n
+
+
+def test_degree_cap_respected(computer):
+    result = build_ii_graph(
+        computer, max_degree=6, beam_width=24, rng=np.random.default_rng(0)
+    )
+    assert result.graph.degrees().max() <= 6
+
+
+def test_nond_overflow_disabled_grows_degrees(computer):
+    capped = build_ii_graph(
+        computer, max_degree=6, beam_width=24, diversify="nond",
+        rng=np.random.default_rng(0),
+    )
+    uncapped = build_ii_graph(
+        computer, max_degree=6, beam_width=24, diversify="nond",
+        rng=np.random.default_rng(0), prune_overflow=False,
+    )
+    assert uncapped.graph.degrees().max() > capped.graph.degrees().max()
+
+
+def test_distance_calls_recorded(computer):
+    result = build_ii_graph(
+        computer, max_degree=6, beam_width=16, rng=np.random.default_rng(0)
+    )
+    assert result.distance_calls > computer.n  # at least one search per node
+
+
+def test_prune_stats_populated_for_rnd(computer):
+    result = build_ii_graph(
+        computer, max_degree=6, beam_width=24, diversify="rnd",
+        rng=np.random.default_rng(0),
+    )
+    assert result.prune_stats.examined > 0
+    assert 0 <= result.prune_stats.ratio() < 1
+
+
+def test_rrnd_prunes_less_than_rnd(computer):
+    """Table 1's ordering: RND > MOND > RRND pruning ratios."""
+    ratios = {}
+    for name, params in [
+        ("rnd", {}),
+        ("mond", {"theta_degrees": 60.0}),
+        ("rrnd", {"alpha": 1.3}),
+    ]:
+        result = build_ii_graph(
+            computer, max_degree=6, beam_width=24, diversify=name,
+            rng=np.random.default_rng(0), diversify_params=params,
+        )
+        ratios[name] = result.prune_stats.ratio()
+    assert ratios["rnd"] > ratios["mond"] > ratios["rrnd"]
+
+
+def test_searchable_after_build(computer, tiny_queries):
+    result = build_ii_graph(
+        computer, max_degree=8, beam_width=24, rng=np.random.default_rng(0)
+    )
+    hits = 0
+    for q in tiny_queries:
+        gt, _ = computer.exact_knn(q, 5)
+        res = beam_search(result.graph, computer, q, [0], k=5, beam_width=40)
+        hits += len(set(gt.tolist()) & set(res.ids.tolist()))
+    assert hits / (5 * len(tiny_queries)) > 0.8
+
+
+def test_insertion_order_respected(computer):
+    order = np.arange(computer.n)[::-1].copy()
+    result = build_ii_graph(
+        computer, max_degree=6, beam_width=16,
+        rng=np.random.default_rng(0), insertion_order=order,
+    )
+    assert result.graph.n == computer.n
+
+
+def test_random_build_seeds_validation():
+    with pytest.raises(ValueError):
+        RandomBuildSeeds(0)
+
+
+def test_sn_build_seeds_costs_more_than_ks(computer):
+    """Table 2: the SN-based build performs more distance calculations."""
+    comp_a = DistanceComputer(computer.data)
+    ks = build_ii_graph(
+        comp_a, max_degree=8, beam_width=24,
+        rng=np.random.default_rng(1), build_seeds=RandomBuildSeeds(n_seeds=4),
+    )
+    comp_b = DistanceComputer(computer.data)
+    sn = build_ii_graph(
+        comp_b, max_degree=8, beam_width=24,
+        rng=np.random.default_rng(1),
+        build_seeds=StackedNSWBuildSeeds(max_degree=8),
+    )
+    assert sn.distance_calls > ks.distance_calls
+
+
+def test_sn_provider_maintains_layers(computer):
+    provider = StackedNSWBuildSeeds(max_degree=8)
+    build_ii_graph(
+        computer, max_degree=8, beam_width=16,
+        rng=np.random.default_rng(2), build_seeds=provider,
+    )
+    assert provider.entry is not None
+    assert provider.memory_bytes() >= 0
+
+
+def test_sn_provider_validation():
+    with pytest.raises(ValueError):
+        StackedNSWBuildSeeds(max_degree=1)
+
+
+def test_single_point_dataset():
+    computer = DistanceComputer(np.zeros((1, 4), dtype=np.float32))
+    result = build_ii_graph(computer, max_degree=4, beam_width=8)
+    assert result.graph.n == 1
+    assert result.graph.degree(0) == 0
+
+
+def test_two_point_dataset():
+    computer = DistanceComputer(
+        np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+    )
+    result = build_ii_graph(computer, max_degree=4, beam_width=8)
+    assert result.graph.degree(0) + result.graph.degree(1) >= 2

@@ -1,0 +1,139 @@
+"""Unit tests for the seven seed-selection strategies (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.seeds import (
+    SEED_STRATEGIES,
+    StackedNSWSeeds,
+    find_medoid,
+    get_seed_strategy,
+)
+
+
+@pytest.fixture()
+def fitted(small_graph):
+    computer, graph = small_graph
+    rng = np.random.default_rng(42)
+    strategies = {}
+    for name in SEED_STRATEGIES:
+        strategy = get_seed_strategy(name)
+        strategy.fit(computer, graph, np.random.default_rng(42))
+        strategies[name] = strategy
+    return computer, graph, strategies
+
+
+def test_get_seed_strategy_unknown():
+    with pytest.raises(KeyError):
+        get_seed_strategy("XX")
+
+
+def test_get_seed_strategy_case_insensitive():
+    assert get_seed_strategy("sn").name == "SN"
+
+
+def test_find_medoid_is_central(small_computer):
+    medoid = find_medoid(small_computer)
+    centroid = small_computer.data.mean(axis=0)
+    medoid_dist = np.linalg.norm(small_computer.data[medoid] - centroid)
+    sample_dists = np.linalg.norm(small_computer.data - centroid, axis=1)
+    assert medoid_dist == pytest.approx(sample_dists.min())
+
+
+def test_all_strategies_return_valid_ids(fitted, tiny_queries):
+    computer, graph, strategies = fitted
+    rng = np.random.default_rng(0)
+    for name, strategy in strategies.items():
+        seeds = strategy.select(tiny_queries[0], rng)
+        assert seeds.size >= 1, name
+        assert seeds.min() >= 0 and seeds.max() < computer.n, name
+
+
+def test_unfitted_strategies_raise(tiny_queries):
+    for name in SEED_STRATEGIES:
+        with pytest.raises(RuntimeError):
+            get_seed_strategy(name).select(tiny_queries[0], np.random.default_rng(0))
+
+
+def test_sf_fixed_across_queries(fitted, tiny_queries):
+    _, _, strategies = fitted
+    rng = np.random.default_rng(0)
+    a = strategies["SF"].select(tiny_queries[0], rng)
+    b = strategies["SF"].select(tiny_queries[1], rng)
+    assert a.tolist() == b.tolist()
+
+
+def test_md_includes_medoid(fitted, tiny_queries):
+    computer, _, strategies = fitted
+    seeds = strategies["MD"].select(tiny_queries[0], np.random.default_rng(0))
+    assert find_medoid(computer) in seeds
+
+
+def test_ks_varies_per_query(fitted, tiny_queries):
+    _, _, strategies = fitted
+    rng = np.random.default_rng(0)
+    a = strategies["KS"].select(tiny_queries[0], rng)
+    b = strategies["KS"].select(tiny_queries[0], rng)
+    assert a.tolist() != b.tolist()
+
+
+def test_ks_includes_medoid(fitted, tiny_queries):
+    computer, _, strategies = fitted
+    seeds = strategies["KS"].select(tiny_queries[0], np.random.default_rng(1))
+    assert find_medoid(computer) in seeds
+
+
+def test_kd_seeds_are_nearby(fitted):
+    computer, _, strategies = fitted
+    query = computer.data[17]
+    seeds = strategies["KD"].select(query, np.random.default_rng(0))
+    # the query is a dataset point: its own leaf should contain it
+    assert 17 in seeds
+
+
+def test_km_seeds_are_nearby(fitted):
+    computer, _, strategies = fitted
+    query = computer.data[23]
+    seeds = strategies["KM"].select(query, np.random.default_rng(0))
+    dists = computer.one_to_many(23, seeds)
+    # at least one seed lies in the query's cluster neighborhood
+    assert dists.min() < np.median(
+        computer.one_to_many(23, np.arange(computer.n))
+    )
+
+
+def test_lsh_fallback_on_no_collision(fitted):
+    computer, _, strategies = fitted
+    far_query = np.full(computer.dim, 1e6, dtype=np.float32)
+    seeds = strategies["LSH"].select(far_query, np.random.default_rng(0))
+    assert seeds.size >= 1
+
+
+def test_sn_builds_layers(fitted):
+    _, _, strategies = fitted
+    sn = strategies["SN"]
+    assert isinstance(sn, StackedNSWSeeds)
+    # 300 points with M=16: expect at least one hierarchical layer
+    assert len(sn._layers) >= 1
+
+
+def test_sn_seeds_include_graph_neighbors(fitted, tiny_queries):
+    _, graph, strategies = fitted
+    seeds = strategies["SN"].select(tiny_queries[0], np.random.default_rng(0))
+    assert seeds.size >= 1
+
+
+def test_memory_bytes_nonnegative(fitted):
+    _, _, strategies = fitted
+    for name, strategy in strategies.items():
+        assert strategy.memory_bytes() >= 0, name
+    # structure-based strategies actually hold memory
+    for name in ("KD", "KM", "LSH", "SN"):
+        assert strategies[name].memory_bytes() > 0, name
+
+
+def test_strategy_params_validation():
+    with pytest.raises(ValueError):
+        get_seed_strategy("KS", n_seeds=0)
+    with pytest.raises(ValueError):
+        get_seed_strategy("SN", max_degree=1)

@@ -1,0 +1,49 @@
+"""Round-trip tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import Graph
+from repro.core.serialization import load_graph, save_graph
+
+
+def test_roundtrip(tmp_path, small_graph):
+    _, graph = small_graph
+    path = save_graph(graph, tmp_path / "g")
+    loaded = load_graph(path)
+    assert loaded.n == graph.n
+    for node in range(graph.n):
+        assert loaded.neighbors(node).tolist() == graph.neighbors(node).tolist()
+
+
+def test_suffix_added(tmp_path):
+    path = save_graph(Graph(3), tmp_path / "plain")
+    assert path.suffix == ".npz"
+
+
+def test_empty_graph_roundtrip(tmp_path):
+    path = save_graph(Graph(5), tmp_path / "empty")
+    loaded = load_graph(path)
+    assert loaded.n == 5
+    assert loaded.num_edges() == 0
+
+
+def test_version_check(tmp_path):
+    graph = Graph(2)
+    graph.add_edge(0, 1)
+    path = save_graph(graph, tmp_path / "g")
+    data = dict(np.load(path))
+    data["version"] = np.asarray([99])
+    np.savez(path, **data)
+    with pytest.raises(ValueError):
+        load_graph(path)
+
+
+def test_corrupt_indptr(tmp_path):
+    graph = Graph(2)
+    path = save_graph(graph, tmp_path / "g")
+    data = dict(np.load(path))
+    data["n"] = np.asarray([7])
+    np.savez(path, **data)
+    with pytest.raises(ValueError):
+        load_graph(path)

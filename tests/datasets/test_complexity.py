@@ -1,0 +1,63 @@
+"""Unit tests for LID and LRC (Figure 4's measures)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.complexity import dataset_complexity, lid, lrc
+from repro.datasets.synthetic import generate
+
+
+def test_lid_of_uniform_line():
+    """Points uniform on a 1-D manifold have LID near 1."""
+    gen = np.random.default_rng(0)
+    data = np.sort(gen.uniform(size=2000))[:, None] * np.ones((1, 8))
+    profile = dataset_complexity(data, k=20, n_samples=50)
+    assert 0.5 < profile.mean_lid < 2.0
+
+
+def test_lid_grows_with_dimension():
+    gen = np.random.default_rng(0)
+    lids = []
+    for dim in (2, 8, 32):
+        data = gen.normal(size=(1500, dim))
+        profile = dataset_complexity(data, k=50, n_samples=60)
+        lids.append(profile.mean_lid)
+    assert lids == sorted(lids)
+
+
+def test_lrc_higher_for_clustered():
+    gen = np.random.default_rng(0)
+    uniform = gen.uniform(size=(800, 16))
+    centers = gen.normal(size=(5, 16)) * 5
+    clustered = centers[gen.integers(5, size=800)] + 0.1 * gen.normal(size=(800, 16))
+    p_uniform = dataset_complexity(uniform, k=20, n_samples=60)
+    p_clustered = dataset_complexity(clustered, k=20, n_samples=60)
+    assert p_clustered.mean_lrc > p_uniform.mean_lrc
+
+
+def test_figure4_hardness_ordering():
+    """Easy stand-ins (sift/deep) must have lower LID and higher LRC than
+    hard ones (seismic/randpow0) — the paper's Figure 4 ordering."""
+    profiles = {
+        name: dataset_complexity(generate(name, 1200, seed=1), k=50, n_samples=60)
+        for name in ("sift", "deep", "seismic", "randpow0")
+    }
+    for easy in ("sift", "deep"):
+        for hard in ("seismic", "randpow0"):
+            assert profiles[easy].mean_lid < profiles[hard].mean_lid
+            assert profiles[easy].mean_lrc > profiles[hard].mean_lrc
+
+
+def test_lid_handles_zero_distances():
+    values = lid(np.array([[0.0, 0.0, 1.0]]))
+    assert np.isfinite(values[0]) or np.isnan(values[0])
+
+
+def test_lrc_zero_distk_is_nan():
+    values = lrc(np.array([[0.0, 0.0]]), np.array([1.0]))
+    assert np.isnan(values[0])
+
+
+def test_k_must_be_below_n():
+    with pytest.raises(ValueError):
+        dataset_complexity(np.zeros((10, 3)), k=10)

@@ -1,0 +1,70 @@
+"""Round-trip tests for the fvecs/bvecs/ivecs formats."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+
+
+def test_fvecs_roundtrip(tmp_path):
+    data = np.random.default_rng(0).normal(size=(20, 7)).astype(np.float32)
+    path = tmp_path / "x.fvecs"
+    write_fvecs(path, data)
+    assert np.array_equal(read_fvecs(path), data)
+
+
+def test_fvecs_limit(tmp_path):
+    data = np.random.default_rng(0).normal(size=(20, 7)).astype(np.float32)
+    path = tmp_path / "x.fvecs"
+    write_fvecs(path, data)
+    assert read_fvecs(path, limit=5).shape == (5, 7)
+
+
+def test_bvecs_roundtrip(tmp_path):
+    data = np.random.default_rng(0).integers(0, 256, size=(12, 5)).astype(np.uint8)
+    path = tmp_path / "x.bvecs"
+    write_bvecs(path, data)
+    assert np.array_equal(read_bvecs(path), data)
+
+
+def test_ivecs_roundtrip(tmp_path):
+    data = np.random.default_rng(0).integers(0, 1000, size=(8, 10)).astype(np.int32)
+    path = tmp_path / "gt.ivecs"
+    write_ivecs(path, data)
+    assert np.array_equal(read_ivecs(path), data)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.fvecs"
+    path.write_bytes(b"")
+    assert read_fvecs(path).size == 0
+
+
+def test_corrupt_record_size(tmp_path):
+    path = tmp_path / "bad.fvecs"
+    path.write_bytes(np.int32(3).tobytes() + b"\x00" * 7)  # truncated
+    with pytest.raises(ValueError):
+        read_fvecs(path)
+
+
+def test_inconsistent_dims(tmp_path):
+    path = tmp_path / "bad.fvecs"
+    rec1 = np.int32(1).tobytes() + np.float32(1.5).tobytes()
+    rec2 = np.int32(2).tobytes() + np.float32(1.5).tobytes()[:4]
+    path.write_bytes(rec1 + rec2)
+    with pytest.raises(ValueError):
+        read_fvecs(path)
+
+
+def test_single_row_roundtrip(tmp_path):
+    data = np.arange(4, dtype=np.float32)
+    path = tmp_path / "one.fvecs"
+    write_fvecs(path, data)
+    assert np.array_equal(read_fvecs(path), data[None, :])

@@ -1,0 +1,73 @@
+"""Unit tests for query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.queries import (
+    NOISE_LEVELS,
+    distribution_queries,
+    held_out_split,
+    noise_queries,
+)
+
+
+@pytest.fixture()
+def data():
+    return np.random.default_rng(0).normal(size=(100, 6)).astype(np.float32)
+
+
+def test_held_out_disjoint(data):
+    index_set, queries = held_out_split(data, 10, np.random.default_rng(0))
+    assert index_set.shape == (90, 6)
+    assert queries.shape == (10, 6)
+    # no query row appears in the index set
+    index_rows = {row.tobytes() for row in index_set}
+    assert all(q.tobytes() not in index_rows for q in queries)
+
+
+def test_held_out_validation(data):
+    with pytest.raises(ValueError):
+        held_out_split(data, 0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        held_out_split(data, 100, np.random.default_rng(0))
+
+
+def test_noise_queries_shape(data):
+    queries = noise_queries(data, 7, 0.05, np.random.default_rng(0))
+    assert queries.shape == (7, 6)
+    assert queries.dtype == np.float32
+
+
+def test_noise_queries_validation(data):
+    with pytest.raises(ValueError):
+        noise_queries(data, 5, 0.0, np.random.default_rng(0))
+
+
+def test_noise_grows_with_sigma(data):
+    """Higher noise level => queries farther from their source vectors."""
+    distances = {}
+    for label, sigma_sq in NOISE_LEVELS.items():
+        rng = np.random.default_rng(1)
+        picks = rng.choice(100, size=50, replace=False)
+        queries = noise_queries(data[picks], 50, sigma_sq, np.random.default_rng(2))
+        distances[label] = np.linalg.norm(queries - data[picks][:50], axis=1).mean()
+    values = [distances[k] for k in ("1%", "2%", "5%", "10%")]
+    assert values == sorted(values)
+
+
+def test_distribution_queries_match_dim():
+    queries = distribution_queries("deep", 5)
+    assert queries.shape == (5, 96)
+
+
+def test_distribution_queries_differ_from_dataset():
+    from repro.datasets.synthetic import generate
+
+    data = generate("deep", 5, seed=0)
+    queries = distribution_queries("deep", 5)
+    assert not np.array_equal(data, queries)
+
+
+def test_distribution_queries_unknown():
+    with pytest.raises(KeyError):
+        distribution_queries("nope", 5)

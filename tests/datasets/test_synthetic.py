@@ -1,0 +1,92 @@
+"""Unit tests for dataset generators and size tiers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    DATASET_GENERATORS,
+    TIER_SIZES,
+    clustered_gaussian,
+    generate,
+    power_law,
+    tier_size,
+)
+
+
+def test_all_named_generators_produce_shape():
+    for name, spec in DATASET_GENERATORS.items():
+        data = generate(name, 64, seed=0)
+        assert data.shape == (64, spec.dim), name
+        assert data.dtype == np.float32, name
+
+
+def test_generate_unknown_name():
+    with pytest.raises(KeyError):
+        generate("nope", 10)
+
+
+def test_generate_deterministic():
+    a = generate("deep", 32, seed=5)
+    b = generate("deep", 32, seed=5)
+    assert np.array_equal(a, b)
+
+
+def test_generate_seed_changes_data():
+    a = generate("deep", 32, seed=5)
+    b = generate("deep", 32, seed=6)
+    assert not np.array_equal(a, b)
+
+
+def test_clustered_gaussian_validation():
+    with pytest.raises(ValueError):
+        clustered_gaussian(10, 4, 2, 8, 0.1, 0.1, np.random.default_rng(0))
+
+
+def test_clustered_gaussian_intrinsic_subspace():
+    """With no noise, points lie exactly in an intrinsic_dim subspace."""
+    data = clustered_gaussian(
+        200, 16, 5, 3, 0.5, 0.0, np.random.default_rng(0)
+    )
+    rank = np.linalg.matrix_rank(data.astype(np.float64), tol=1e-4)
+    assert rank <= 3
+
+
+def test_heavy_tail_increases_spread():
+    light = clustered_gaussian(500, 8, 3, 4, 0.3, 0.2, np.random.default_rng(0))
+    heavy = clustered_gaussian(
+        500, 8, 3, 4, 0.3, 0.2, np.random.default_rng(0), heavy_tail=2.0
+    )
+    assert np.abs(heavy).max() > np.abs(light).max()
+
+
+def test_power_law_validation():
+    with pytest.raises(ValueError):
+        power_law(10, 4, -1, np.random.default_rng(0))
+
+
+def test_power_law_zero_is_uniform():
+    data = power_law(5000, 2, 0.0, np.random.default_rng(0))
+    assert data.min() >= 0 and data.max() <= 1
+    assert abs(data.mean() - 0.5) < 0.02
+
+
+def test_power_law_skew_increases_with_exponent():
+    means = [
+        power_law(5000, 2, a, np.random.default_rng(0)).mean() for a in (0, 5, 50)
+    ]
+    assert means == sorted(means)  # mass shifts toward 1
+
+
+def test_tier_sizes_monotone():
+    sizes = [TIER_SIZES[t] for t in ("1M", "25GB", "100GB", "1B")]
+    assert sizes == sorted(sizes)
+
+
+def test_tier_size_scaling():
+    assert tier_size("1M", scale=2.0) == 2 * TIER_SIZES["1M"]
+    assert tier_size("1M", scale=1e-9) == 64  # floor
+
+
+def test_tier_size_unknown():
+    with pytest.raises(KeyError):
+        tier_size("10TB")

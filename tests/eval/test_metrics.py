@@ -1,0 +1,56 @@
+"""Unit tests for recall and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import ground_truth, mean_recall, recall
+
+
+def test_recall_perfect():
+    assert recall(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+
+def test_recall_partial():
+    assert recall(np.array([1, 2, 9]), np.array([1, 2, 3])) == pytest.approx(2 / 3)
+
+
+def test_recall_zero():
+    assert recall(np.array([7, 8]), np.array([1, 2])) == 0.0
+
+
+def test_recall_empty_truth_raises():
+    with pytest.raises(ValueError):
+        recall(np.array([1]), np.array([]))
+
+
+def test_mean_recall():
+    returned = [np.array([1, 2]), np.array([5, 6])]
+    truth = [np.array([1, 2]), np.array([5, 9])]
+    assert mean_recall(returned, truth) == pytest.approx(0.75)
+
+
+def test_mean_recall_validation():
+    with pytest.raises(ValueError):
+        mean_recall([np.array([1])], [])
+    with pytest.raises(ValueError):
+        mean_recall([], [])
+
+
+def test_ground_truth_shapes():
+    data = np.random.default_rng(0).normal(size=(50, 4)).astype(np.float32)
+    ids, dists = ground_truth(data, data[:3], 5)
+    assert ids.shape == (3, 5)
+    assert dists.shape == (3, 5)
+
+
+def test_ground_truth_self_first():
+    data = np.random.default_rng(0).normal(size=(50, 4)).astype(np.float32)
+    ids, dists = ground_truth(data, data[:3], 5)
+    assert ids[:, 0].tolist() == [0, 1, 2]
+    assert np.allclose(dists[:, 0], 0.0, atol=1e-5)
+
+
+def test_ground_truth_sorted():
+    data = np.random.default_rng(0).normal(size=(50, 4)).astype(np.float32)
+    _, dists = ground_truth(data, data[:3], 10)
+    assert np.all(np.diff(dists, axis=1) >= 0)

@@ -1,0 +1,41 @@
+"""Unit tests for the Figure 18 recommendation tree."""
+
+import pytest
+
+from repro.eval.recommend import HARD_DATASETS, recommend
+
+
+def test_large_datasets_get_ii_methods():
+    rec = recommend(100_000, hard=False)
+    assert set(rec.methods) == {"HNSW", "ELPIS"}
+
+
+def test_large_and_hard_still_ii():
+    rec = recommend(100_000, hard=True)
+    assert "ELPIS" in rec.methods
+
+
+def test_small_easy_gets_nd_methods():
+    rec = recommend(5_000, hard=False)
+    assert "HNSW" in rec.methods
+    assert "NSG" in rec.methods
+
+
+def test_small_hard_gets_dc_methods():
+    rec = recommend(5_000, hard=True)
+    assert "SPTAG-BKT" in rec.methods or "ELPIS" in rec.methods
+
+
+def test_threshold_override():
+    rec = recommend(500, hard=False, large_threshold=100)
+    assert set(rec.methods) == {"HNSW", "ELPIS"}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        recommend(0, hard=False)
+
+
+def test_hard_dataset_registry():
+    assert "seismic" in HARD_DATASETS
+    assert "sift" not in HARD_DATASETS

@@ -1,0 +1,37 @@
+"""Unit tests for report formatting and archiving."""
+
+from repro.eval.reporting import Report, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["x", 1], ["yy", 2.5]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_none_as_dash():
+    text = format_table(["v"], [[None]])
+    assert "-" in text.splitlines()[-1]
+
+
+def test_format_large_numbers():
+    text = format_table(["v"], [[1234567.0]])
+    assert "1.23e+06" in text
+
+
+def test_report_saves(tmp_path, capsys):
+    report = Report("unit", directory=tmp_path)
+    report.add("hello")
+    report.add_table(["x"], [[1]])
+    path = report.save()
+    assert path.read_text().startswith("hello")
+    assert capsys.readouterr().out.count("hello") == 1
+
+
+def test_report_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "env"))
+    report = Report("unit2")
+    report.add("x")
+    assert str(report.save()).startswith(str(tmp_path / "env"))

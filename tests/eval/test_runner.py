@@ -1,0 +1,82 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate
+from repro.eval.metrics import ground_truth
+from repro.eval.runner import (
+    SweepPoint,
+    build_with_tracking,
+    beam_width_for_recall,
+    calls_at_recall,
+    run_workload,
+    sweep_beam_widths,
+)
+from repro.indexes import create_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = generate("deep", 400, seed=0)
+    queries = generate("deep", 5, seed=9)
+    truth, _ = ground_truth(data, queries, 10)
+    index = create_index("HNSW", seed=1).build(data)
+    return data, queries, truth, index
+
+
+def test_build_with_tracking():
+    data = generate("deep", 200, seed=0)
+    measurement = build_with_tracking(create_index("HNSW", seed=0), data)
+    assert measurement.wall_time_s > 0
+    assert measurement.distance_calls > 0
+    assert measurement.peak_heap_bytes > 0
+    assert measurement.index_bytes > 0
+
+
+def test_run_workload(setup):
+    _, queries, truth, index = setup
+    m = run_workload(index, queries, truth, k=10, beam_width=40)
+    assert 0 <= m.recall <= 1
+    assert m.mean_distance_calls > 0
+    assert m.mean_hops > 0
+
+
+def test_sweep_recall_monotone_enough(setup):
+    _, queries, truth, index = setup
+    curve = sweep_beam_widths(index, queries, truth, k=10, beam_widths=(10, 40, 160))
+    assert len(curve) == 3
+    assert curve[-1].recall >= curve[0].recall
+    assert curve[-1].distance_calls > curve[0].distance_calls
+
+
+def test_sweep_skips_widths_below_k(setup):
+    _, queries, truth, index = setup
+    curve = sweep_beam_widths(index, queries, truth, k=10, beam_widths=(5, 20))
+    assert len(curve) == 1
+
+
+def _curve():
+    return [
+        SweepPoint(beam_width=10, recall=0.5, distance_calls=100, time_s=0.1),
+        SweepPoint(beam_width=20, recall=0.8, distance_calls=200, time_s=0.2),
+        SweepPoint(beam_width=40, recall=0.95, distance_calls=400, time_s=0.4),
+    ]
+
+
+def test_calls_at_recall_interpolates():
+    calls = calls_at_recall(_curve(), 0.9)
+    assert 200 < calls < 400
+
+
+def test_calls_at_recall_exact_point():
+    assert calls_at_recall(_curve(), 0.8) == pytest.approx(200)
+
+
+def test_calls_at_recall_unreachable():
+    assert calls_at_recall(_curve(), 0.99) is None
+
+
+def test_beam_width_for_recall():
+    assert beam_width_for_recall(_curve(), 0.9) == 40
+    assert beam_width_for_recall(_curve(), 0.99) is None

@@ -1,0 +1,69 @@
+"""Unit tests for LSB-style Z-order tables."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.lsbtree import LSBForest, LSBTable
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(0)
+    centers = gen.normal(size=(4, 8)) * 5
+    return (centers[gen.integers(4, size=150)] + 0.2 * gen.normal(size=(150, 8))).astype(
+        np.float32
+    )
+
+
+def test_seeds_before_build():
+    with pytest.raises(RuntimeError):
+        LSBTable(4, 0).seeds_for(np.zeros(4), 5)
+
+
+def test_seeds_shape(data):
+    table = LSBTable(4, seed=0).build(data)
+    seeds = table.seeds_for(data[0], 8)
+    assert 1 <= seeds.size <= 16
+    assert seeds.min() >= 0 and seeds.max() < 150
+
+
+def test_seeds_biased_near(data):
+    table = LSBTable(6, seed=0).build(data)
+    query = data[20]
+    seeds = table.seeds_for(query, 10)
+    seed_dists = np.linalg.norm(data[seeds] - query, axis=1)
+    all_dists = np.linalg.norm(data - query, axis=1)
+    assert seed_dists.mean() < all_dists.mean()
+
+
+def test_projected_distance_correlates(data):
+    table = LSBTable(8, seed=0).build(data)
+    query = data[5]
+    ids = np.arange(150)
+    estimates = table.projected_distance(query, ids)
+    true = np.linalg.norm(data - query, axis=1)
+    corr = np.corrcoef(estimates, true)[0, 1]
+    assert corr > 0.5
+
+
+def test_forest_rejects_bad_tables():
+    with pytest.raises(ValueError):
+        LSBForest(n_tables=0)
+
+
+def test_forest_union(data):
+    forest = LSBForest(n_tables=3, n_projections=6, seed=0).build(data)
+    seeds = forest.seeds_for(data[0], 12)
+    assert seeds.size >= 1
+
+
+def test_forest_projected_distance(data):
+    forest = LSBForest(n_tables=3, n_projections=6, seed=0).build(data)
+    est = forest.projected_distance(data[0], np.arange(10))
+    assert est.shape == (10,)
+    assert est[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_memory_bytes(data):
+    forest = LSBForest(n_tables=2, n_projections=4, seed=0).build(data)
+    assert forest.memory_bytes() > 0

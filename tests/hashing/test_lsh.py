@@ -1,0 +1,97 @@
+"""Unit tests for the LSH family."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.lsh import LSHIndex, QueryAwareLSH
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(0)
+    centers = gen.normal(size=(5, 8)) * 5
+    return (centers[gen.integers(5, size=200)] + 0.2 * gen.normal(size=(200, 8))).astype(
+        np.float32
+    )
+
+
+def test_rejects_bad_params():
+    with pytest.raises(ValueError):
+        LSHIndex(n_tables=0)
+    with pytest.raises(ValueError):
+        LSHIndex(n_projections=0)
+
+
+def test_candidates_before_build():
+    with pytest.raises(RuntimeError):
+        LSHIndex().candidates(np.zeros(4))
+
+
+def test_own_point_collides(data):
+    index = LSHIndex(n_tables=4, n_projections=6).build(data)
+    hits = sum(1 for i in (0, 50, 100) if i in index.candidates(data[i]))
+    assert hits == 3
+
+
+def test_candidates_are_biased_near(data):
+    index = LSHIndex(n_tables=4, n_projections=6).build(data)
+    query = data[10]
+    cands = index.candidates(query, min_candidates=5)
+    if cands.size >= 5:
+        cand_dists = np.linalg.norm(data[cands] - query, axis=1)
+        all_dists = np.linalg.norm(data - query, axis=1)
+        assert cand_dists.mean() < all_dists.mean()
+
+
+def test_multiprobe_expands(data):
+    index = LSHIndex(n_tables=2, n_projections=10).build(data)
+    few = index.candidates(data[0], min_candidates=1)
+    many = index.candidates(data[0], min_candidates=200)
+    assert many.size >= few.size
+
+
+def test_custom_ids(data):
+    ids = np.arange(1000, 1200)
+    index = LSHIndex(n_tables=2, n_projections=4).build(data, ids=ids)
+    cands = index.candidates(data[0])
+    assert cands.size == 0 or cands.min() >= 1000
+
+
+def test_memory_bytes(data):
+    index = LSHIndex().build(data)
+    assert index.memory_bytes() > 0
+
+
+def test_query_aware_rejects_bad_params():
+    with pytest.raises(ValueError):
+        QueryAwareLSH(n_projections=0)
+
+
+def test_query_aware_before_build():
+    with pytest.raises(RuntimeError):
+        QueryAwareLSH().examination_order(np.zeros(4))
+
+
+def test_query_aware_orders_near_first(data):
+    qalsh = QueryAwareLSH(n_projections=16).build(data)
+    query = data[33]
+    order = qalsh.examination_order(query)
+    assert order.size == 200
+    # the true nearest neighbor should appear early in the examination order
+    true_nn_rank = int(np.where(order == 33)[0][0])
+    assert true_nn_rank < 20
+
+
+def test_query_aware_prefix_quality(data):
+    qalsh = QueryAwareLSH(n_projections=16).build(data)
+    gen = np.random.default_rng(5)
+    query = data[77] + 0.05 * gen.normal(size=8).astype(np.float32)
+    order = qalsh.examination_order(query)
+    prefix = order[:40]
+    prefix_dists = np.linalg.norm(data[prefix] - query, axis=1)
+    all_dists = np.linalg.norm(data - query, axis=1)
+    assert prefix_dists.mean() < all_dists.mean()
+
+
+def test_query_aware_memory(data):
+    assert QueryAwareLSH().build(data).memory_bytes() > 0

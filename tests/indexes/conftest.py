@@ -1,0 +1,35 @@
+"""Index-test fixtures: one shared dataset, indexes built once per session."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate
+from repro.eval.metrics import ground_truth
+from repro.indexes import METHOD_REGISTRY, create_index
+
+DATASET_N = 600
+
+
+@pytest.fixture(scope="session")
+def index_data():
+    return generate("deep", DATASET_N, seed=3)
+
+
+@pytest.fixture(scope="session")
+def index_queries():
+    return generate("deep", 6, seed=77)
+
+
+@pytest.fixture(scope="session")
+def truth(index_data, index_queries):
+    ids, dists = ground_truth(index_data, index_queries, 10)
+    return ids
+
+
+@pytest.fixture(scope="session")
+def built_indexes(index_data):
+    """Build every registered method once; tests share the instances."""
+    built = {}
+    for name in METHOD_REGISTRY:
+        built[name] = create_index(name, seed=2).build(index_data)
+    return built

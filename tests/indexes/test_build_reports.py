@@ -1,0 +1,35 @@
+"""Cross-method build accounting invariants."""
+
+import pytest
+
+from repro.indexes import METHOD_REGISTRY
+from repro.indexes.base import BaseGraphIndex
+
+
+def test_degree_stats_shape(built_indexes):
+    for name, index in built_indexes.items():
+        if not isinstance(index, BaseGraphIndex):
+            continue
+        stats = index.degree_stats()
+        assert stats["min"] >= 0
+        assert stats["mean"] <= stats["max"]
+
+
+def test_build_distance_calls_scale_sane(built_indexes, index_data):
+    """Every graph build does at least one search-ish pass over the data
+    but no method degenerates to all-pairs (n^2) work at this size."""
+    n = index_data.shape[0]
+    for name, index in built_indexes.items():
+        if name == "BruteForce":
+            continue
+        calls = index.build_report.distance_calls
+        assert calls >= n, name
+        assert calls <= 5 * n * n, name
+
+
+def test_ii_methods_build_cheaper_than_nsg(built_indexes):
+    """Paper Figure 7: the II-based HNSW/ELPIS build with fewer distance
+    calls than NSG (which pays for an EFANNA base first)."""
+    nsg = built_indexes["NSG"].build_report.distance_calls
+    elpis = built_indexes["ELPIS"].build_report.distance_calls
+    assert elpis < nsg

@@ -1,0 +1,82 @@
+"""Unit tests for the inverted-index baselines (IVF-Flat / IVF-PQ)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import IVFIndex, create_index
+
+
+@pytest.fixture(scope="module")
+def built(index_data):
+    flat = IVFIndex(n_lists=16, nprobe=4, seed=0).build(index_data)
+    pq = IVFIndex(n_lists=16, nprobe=4, use_pq=True, seed=0).build(index_data)
+    return flat, pq
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IVFIndex(n_lists=0)
+    with pytest.raises(ValueError):
+        IVFIndex(nprobe=0)
+
+
+def test_registry_names():
+    assert create_index("IVF-Flat").name == "IVF-Flat"
+    assert create_index("IVF-PQ").name == "IVF-PQ"
+
+
+def test_posting_lists_partition(built, index_data):
+    flat, _ = built
+    all_ids = np.concatenate([l for l in flat._lists if l.size])
+    assert sorted(all_ids.tolist()) == list(range(index_data.shape[0]))
+
+
+def test_flat_search_quality(built, index_queries, truth):
+    flat, _ = built
+    hits = 0
+    for q, gt in zip(index_queries, truth):
+        result = flat.search(q, k=10, beam_width=8)  # probe 8 of 16 lists
+        hits += len(set(result.ids.tolist()) & set(gt.tolist()))
+    assert hits / (10 * len(index_queries)) > 0.7
+
+
+def test_more_probes_no_worse(built, index_queries, truth):
+    flat, _ = built
+    q, gt = index_queries[0], truth[0]
+    few = flat.search(q, k=10, beam_width=1)
+    many = flat.search(q, k=10, beam_width=16)
+    assert many.dists[0] <= few.dists[0] + 1e-9
+
+
+def test_full_probe_is_exact(built, index_queries, truth):
+    flat, _ = built
+    for q, gt in zip(index_queries[:3], truth[:3]):
+        result = flat.search(q, k=10, beam_width=16)
+        assert set(result.ids.tolist()) == set(gt.tolist())
+
+
+def test_pq_cheaper_than_flat_at_same_probes(built, index_queries):
+    flat, pq = built
+    q = index_queries[0]
+    calls_flat = flat.search(q, k=10, beam_width=8).distance_calls
+    calls_pq = pq.search(q, k=10, beam_width=8).distance_calls
+    assert calls_pq < calls_flat
+
+
+def test_pq_reranked_answers_reasonable(built, index_queries, truth):
+    _, pq = built
+    hits = 0
+    for q, gt in zip(index_queries, truth):
+        result = pq.search(q, k=10, beam_width=8)
+        hits += len(set(result.ids.tolist()) & set(gt.tolist()))
+    assert hits / (10 * len(index_queries)) > 0.5
+
+
+def test_build_charges_codebook_training(built):
+    flat, _ = built
+    assert flat.build_report.distance_calls > 0
+
+
+def test_memory_accounting(built):
+    flat, pq = built
+    assert 0 < flat.memory_bytes() < pq.memory_bytes()

@@ -1,0 +1,57 @@
+"""Tests for the Figure-17 optimized (flat CSR) variants."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import OptimizedIndex, create_index
+
+
+@pytest.fixture(scope="module")
+def base(index_data):
+    return create_index("HNSW", seed=4).build(index_data)
+
+
+def test_requires_built_base():
+    with pytest.raises(ValueError):
+        OptimizedIndex(create_index("HNSW"))
+
+
+def test_name_suffix(base):
+    assert OptimizedIndex(base).name == "HNSW_Opt"
+
+
+def test_same_results_as_base(base, index_queries):
+    """The re-layout must not change search semantics."""
+    opt = OptimizedIndex(base)
+    for q in index_queries:
+        r_base = base.search(q, k=5, beam_width=60)
+        r_opt = opt.search(q, k=5, beam_width=60)
+        assert np.allclose(r_base.dists, r_opt.dists, atol=1e-9)
+
+
+def test_same_distance_calls_modulo_seeds(base, index_queries):
+    """CSR layout changes wall time, not the traversal."""
+    opt = OptimizedIndex(base)
+    q = index_queries[0]
+    r_base = base.search(q, k=5, beam_width=60)
+    r_opt = opt.search(q, k=5, beam_width=60)
+    # HNSW seeds are deterministic, so the traversal is identical
+    assert r_base.distance_calls == r_opt.distance_calls
+
+
+def test_cannot_rebuild(base, index_data):
+    opt = OptimizedIndex(base)
+    with pytest.raises(RuntimeError):
+        opt.build(index_data)
+
+
+def test_memory_is_flat_arrays(base):
+    opt = OptimizedIndex(base)
+    assert opt.memory_bytes() > 0
+    # int32 indices beat per-node int64 arrays on footprint
+    assert opt.indptr.nbytes + opt.indices.nbytes < base.graph.memory_bytes()
+
+
+def test_build_report_inherited(base):
+    opt = OptimizedIndex(base)
+    assert opt.build_report.distance_calls == base.build_report.distance_calls

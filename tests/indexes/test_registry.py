@@ -1,0 +1,111 @@
+"""Contract tests applied uniformly to every registered method."""
+
+import numpy as np
+import pytest
+
+from repro.core.beam_search import SearchResult
+from repro.indexes import METHOD_REGISTRY, create_index
+
+ALL_METHODS = sorted(METHOD_REGISTRY)
+GRAPH_METHODS = [m for m in ALL_METHODS if m != "BruteForce"]
+
+
+def test_create_index_unknown():
+    with pytest.raises(KeyError):
+        create_index("FAISS")
+
+
+def test_registry_covers_the_papers_twelve():
+    """All twelve evaluated methods (Section 4.1) are present."""
+    expected = {
+        "HNSW", "NSG", "Vamana", "DPG", "EFANNA", "HCNNG", "KGraph",
+        "NGT", "SPTAG-BKT", "SPTAG-KDT", "ELPIS", "LSHAPG",
+    }
+    assert expected <= set(METHOD_REGISTRY)
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_search_before_build_raises(name):
+    index = create_index(name)
+    with pytest.raises(RuntimeError):
+        index.search(np.zeros(4), k=1)
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_build_report_populated(name, built_indexes):
+    index = built_indexes[name]
+    assert index.build_report.wall_time_s > 0
+    if name != "BruteForce":
+        assert index.build_report.distance_calls > 0
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_search_returns_k_sorted(name, built_indexes, index_queries):
+    index = built_indexes[name]
+    result = index.search(index_queries[0], k=5, beam_width=40)
+    assert isinstance(result, SearchResult)
+    assert result.ids.size == 5
+    assert np.all(np.diff(result.dists) >= 0)
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_search_ids_valid(name, built_indexes, index_queries, index_data):
+    index = built_indexes[name]
+    result = index.search(index_queries[1], k=5, beam_width=40)
+    assert result.ids.min() >= 0
+    assert result.ids.max() < index_data.shape[0]
+    assert len(set(result.ids.tolist())) == 5
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_search_counts_distance_calls(name, built_indexes, index_queries):
+    index = built_indexes[name]
+    result = index.search(index_queries[2], k=5, beam_width=40)
+    assert result.distance_calls > 0
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_reported_dists_match_true_distances(name, built_indexes, index_queries, index_data):
+    index = built_indexes[name]
+    q = index_queries[3]
+    result = index.search(q, k=5, beam_width=40)
+    true = np.linalg.norm(
+        index_data[result.ids].astype(np.float64) - q.astype(np.float64), axis=1
+    )
+    assert np.allclose(result.dists, true, atol=1e-4)
+
+
+@pytest.mark.parametrize("name", GRAPH_METHODS)
+def test_reasonable_recall_at_wide_beam(name, built_indexes, index_queries, truth):
+    """Every graph method must beat random guessing decisively."""
+    index = built_indexes[name]
+    hits = 0
+    for q, gt in zip(index_queries, truth):
+        result = index.search(q, k=10, beam_width=120)
+        hits += len(set(result.ids.tolist()) & set(gt.tolist()))
+    recall = hits / (10 * len(index_queries))
+    assert recall >= 0.5, f"{name} recall {recall}"
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_memory_bytes_nonnegative(name, built_indexes):
+    assert built_indexes[name].memory_bytes() >= 0
+
+
+@pytest.mark.parametrize("name", GRAPH_METHODS)
+def test_graph_methods_have_positive_footprint(name, built_indexes):
+    assert built_indexes[name].memory_bytes() > 0
+
+
+def test_bruteforce_exact(built_indexes, index_queries, truth):
+    index = built_indexes["BruteForce"]
+    for q, gt in zip(index_queries, truth):
+        result = index.search(q, k=10)
+        assert result.ids.tolist() == gt.tolist()
+
+
+def test_searching_own_point_finds_it(built_indexes, index_data):
+    for name, index in built_indexes.items():
+        result = index.search(index_data[5], k=1, beam_width=60)
+        # the point itself is its own nearest neighbor (distance 0)
+        assert result.dists[0] < 1e-3 or 5 in result.ids, name

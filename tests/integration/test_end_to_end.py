@@ -1,0 +1,103 @@
+"""Integration tests exercising whole pipelines across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    create_index,
+    dataset_complexity,
+    generate,
+    ground_truth,
+    recall,
+    recommend,
+    sweep_beam_widths,
+)
+from repro.datasets.queries import held_out_split, noise_queries
+from repro.eval.runner import calls_at_recall
+
+
+def test_full_pipeline_build_sweep_compare():
+    """Mini version of the paper's main experiment on two methods."""
+    data = generate("sift", 800, seed=0)
+    queries = generate("sift", 6, seed=42)
+    truth, _ = ground_truth(data, queries, 10)
+    curves = {}
+    for name in ("HNSW", "KGraph"):
+        index = create_index(name, seed=1).build(data)
+        curves[name] = sweep_beam_widths(
+            index, queries, truth, k=10, beam_widths=(20, 60, 180)
+        )
+    # the paper's headline: ND+II methods dominate NP methods at high recall
+    hnsw_best = max(p.recall for p in curves["HNSW"])
+    kgraph_best = max(p.recall for p in curves["KGraph"])
+    assert hnsw_best >= kgraph_best
+
+
+def test_held_out_protocol():
+    """The SALD/Seismic protocol: queries removed before indexing."""
+    data = generate("sald", 700, seed=0)
+    index_set, queries = held_out_split(data, 5, np.random.default_rng(0))
+    truth, _ = ground_truth(index_set, queries, 10)
+    index = create_index("HNSW", seed=0).build(index_set)
+    hits = 0
+    for q, gt in zip(queries, truth):
+        result = index.search(q, k=10, beam_width=100)
+        hits += len(set(result.ids.tolist()) & set(gt.tolist()))
+    assert hits / (10 * len(queries)) > 0.7
+
+
+def test_noise_makes_queries_harder():
+    """Figure 15's premise: noise pushes queries away from their true NNs.
+
+    (The *performance* impact of that hardness is measured at benchmark
+    scale in bench_fig15; at unit scale easy datasets absorb the noise.)
+    """
+    data = generate("deep", 900, seed=1)
+    rng = np.random.default_rng(3)
+    gt_dist = {}
+    for label, sigma in (("1%", 0.01), ("10%", 0.10)):
+        queries = noise_queries(data, 20, sigma, np.random.default_rng(5))
+        _, dists = ground_truth(data, queries, 10)
+        gt_dist[label] = float(dists.mean())
+    assert gt_dist["10%"] > gt_dist["1%"]
+    # and the index still answers the hard workload well at a wide beam
+    index = create_index("HNSW", seed=1).build(data)
+    queries = noise_queries(data, 6, 0.10, rng)
+    truth, _ = ground_truth(data, queries, 10)
+    curve = sweep_beam_widths(index, queries, truth, k=10, beam_widths=(120,))
+    assert curve[0].recall > 0.8
+
+
+def test_complexity_guides_recommendation():
+    data_easy = generate("sift", 800, seed=0)
+    data_hard = generate("randpow0", 800, seed=0)
+    lid_easy = dataset_complexity(data_easy, k=50, n_samples=50).mean_lid
+    lid_hard = dataset_complexity(data_hard, k=50, n_samples=50).mean_lid
+    rec_easy = recommend(800, hard=lid_easy > 10)
+    rec_hard = recommend(800, hard=lid_hard > 10)
+    assert "NSG" in rec_easy.methods
+    assert "NSG" not in rec_hard.methods
+
+
+def test_recall_definition_against_bruteforce():
+    data = generate("deep", 300, seed=0)
+    index = create_index("BruteForce").build(data)
+    truth, _ = ground_truth(data, data[:3], 5)
+    for row, q in enumerate(data[:3]):
+        result = index.search(q, k=5)
+        assert recall(result.ids, truth[row]) == 1.0
+
+
+def test_methods_agree_on_easy_nearest_neighbor():
+    """On well-separated clusters every method should find the same 1-NN."""
+    gen = np.random.default_rng(0)
+    centers = gen.normal(size=(5, 12)) * 20
+    data = (centers[gen.integers(5, size=500)] + 0.1 * gen.normal(size=(500, 12))).astype(
+        np.float32
+    )
+    query = data[17] + 0.01
+    answers = set()
+    for name in ("HNSW", "ELPIS", "Vamana", "SPTAG-BKT"):
+        index = create_index(name, seed=2).build(data)
+        answers.add(int(index.search(query, k=1, beam_width=80).ids[0]))
+    assert answers == {17}

@@ -1,0 +1,83 @@
+"""Additional property-based coverage of structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import Graph
+from repro.summarization.paa import paa_transform, segment_bounds
+from repro.summarization.quantization import ScalarQuantizer
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=60
+    )
+)
+def test_property_undirected_closure_is_symmetric(edges):
+    graph = Graph(15)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    graph.make_undirected()
+    for node in range(15):
+        for nbr in graph.neighbors(node).tolist():
+            assert node in graph.neighbors(nbr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=40
+    )
+)
+def test_property_csr_roundtrip_preserves_adjacency(edges):
+    graph = Graph(12)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    indptr, indices = graph.to_csr()
+    assert indptr[-1] == graph.num_edges()
+    for node in range(12):
+        stored = indices[indptr[node] : indptr[node + 1]].tolist()
+        assert stored == graph.neighbors(node).tolist()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    bits=st.integers(1, 10),
+)
+def test_property_scalar_quantizer_error_bound(seed, bits):
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=(30, 6)) * gen.uniform(0.1, 10)
+    sq = ScalarQuantizer.fit(data, bits=bits)
+    decoded = sq.decode(sq.encode(data))
+    errors = np.linalg.norm(decoded - data, axis=1)
+    assert errors.max() <= sq.max_error() + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(dim=st.integers(1, 100), segs=st.integers(1, 16))
+def test_property_segment_bounds_cover_exactly(dim, segs):
+    if segs > dim:
+        with pytest.raises(ValueError):
+            segment_bounds(dim, segs)
+        return
+    bounds = segment_bounds(dim, segs)
+    sizes = np.diff(bounds)
+    assert bounds[0] == 0 and bounds[-1] == dim
+    assert sizes.min() >= 1
+    assert sizes.max() - sizes.min() <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_paa_is_mean_preserving(seed):
+    """The weighted mean of PAA segments equals the vector's mean."""
+    gen = np.random.default_rng(seed)
+    vec = gen.normal(size=24)
+    paa = paa_transform(vec[None, :], 6)[0]
+    bounds = segment_bounds(24, 6)
+    lengths = np.diff(bounds)
+    assert np.average(paa, weights=lengths) == pytest.approx(vec.mean())

@@ -1,0 +1,66 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.beam_search import beam_search
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import build_ii_graph
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(20, 120),
+    dim=st.integers(2, 16),
+    diversify=st.sampled_from(["nond", "rnd", "rrnd", "mond"]),
+)
+def test_property_ii_build_always_searchable(seed, n, dim, diversify):
+    """Any II graph on any data admits a beam search returning valid ids."""
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=(n, dim)).astype(np.float32)
+    computer = DistanceComputer(data)
+    result = build_ii_graph(
+        computer, max_degree=6, beam_width=16, diversify=diversify,
+        rng=np.random.default_rng(seed),
+    )
+    res = beam_search(
+        result.graph, computer, gen.normal(size=dim), [0], k=3, beam_width=12
+    )
+    assert res.ids.size == 3
+    assert res.ids.min() >= 0 and res.ids.max() < n
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_full_beam_equals_bruteforce(seed):
+    """With beam width n and a connected graph, beam search is exact."""
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=(60, 6)).astype(np.float32)
+    computer = DistanceComputer(data)
+    built = build_ii_graph(
+        computer, max_degree=8, beam_width=30, rng=np.random.default_rng(seed)
+    )
+    if not built.graph.reachable_from(0).all():
+        return  # rare disconnected case: exactness not guaranteed
+    query = gen.normal(size=6)
+    exact, _ = computer.exact_knn(query, 5)
+    res = beam_search(built.graph, computer, query, [0], k=5, beam_width=60)
+    assert set(res.ids.tolist()) == set(exact.tolist())
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1000), duplicates=st.integers(2, 10))
+def test_property_duplicate_points_handled(seed, duplicates):
+    """Datasets with exact duplicates must not break any stage."""
+    gen = np.random.default_rng(seed)
+    base = gen.normal(size=(30, 5)).astype(np.float32)
+    data = np.repeat(base, duplicates, axis=0)[:60]
+    computer = DistanceComputer(data)
+    built = build_ii_graph(
+        computer, max_degree=6, beam_width=16, rng=np.random.default_rng(seed)
+    )
+    res = beam_search(built.graph, computer, data[0], [1], k=3, beam_width=12)
+    assert res.dists[0] <= res.dists[-1]

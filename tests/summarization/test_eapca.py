@@ -1,0 +1,62 @@
+"""Unit and property tests for EAPCA and its synopsis bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summarization.eapca import EAPCASynopsis, eapca_transform
+
+
+def test_transform_shapes():
+    data = np.random.default_rng(0).normal(size=(5, 12))
+    means, stds = eapca_transform(data, 3)
+    assert means.shape == (5, 3)
+    assert stds.shape == (5, 3)
+
+
+def test_transform_values():
+    data = np.array([[0.0, 2.0, 10.0, 10.0]])
+    means, stds = eapca_transform(data, 2)
+    assert means.tolist() == [[1.0, 10.0]]
+    assert stds[0, 0] == pytest.approx(1.0)
+    assert stds[0, 1] == pytest.approx(0.0)
+
+
+def test_synopsis_envelopes():
+    data = np.array([[0.0, 0.0], [2.0, 4.0]])
+    syn = EAPCASynopsis.from_points(data, 1)
+    assert syn.mean_min[0] == pytest.approx(0.0)
+    assert syn.mean_max[0] == pytest.approx(3.0)
+
+
+def test_lower_bound_zero_inside():
+    data = np.random.default_rng(0).normal(size=(20, 8))
+    syn = EAPCASynopsis.from_points(data, 4)
+    assert syn.lower_bound(data[3]) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100000), n=st.integers(2, 30), dim=st.integers(4, 32))
+def test_property_synopsis_bound_admissible(seed, n, dim):
+    """lower_bound(q) <= min distance from q to any summarized point."""
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=(n, dim))
+    syn = EAPCASynopsis.from_points(data, min(4, dim))
+    query = gen.normal(size=dim) * 2
+    lb = syn.lower_bound(query)
+    true_min = np.linalg.norm(data - query, axis=1).min()
+    assert lb <= true_min + 1e-9
+
+
+def test_split_score_highlights_varying_segment():
+    gen = np.random.default_rng(0)
+    data = gen.normal(size=(50, 8)) * 0.01
+    data[:, 0:2] += gen.normal(size=(50, 1)) * 5  # first segment varies most
+    syn = EAPCASynopsis.from_points(data, 4)
+    assert int(np.argmax(syn.split_score())) == 0
+
+
+def test_memory_bytes():
+    data = np.random.default_rng(0).normal(size=(10, 8))
+    assert EAPCASynopsis.from_points(data, 4).memory_bytes() > 0

@@ -1,0 +1,74 @@
+"""Unit and property tests for PAA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summarization.paa import paa_lower_bound, paa_transform, segment_bounds
+
+
+def test_segment_bounds_even():
+    assert segment_bounds(8, 4).tolist() == [0, 2, 4, 6, 8]
+
+
+def test_segment_bounds_uneven():
+    bounds = segment_bounds(10, 3)
+    sizes = np.diff(bounds)
+    assert sizes.sum() == 10
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_segment_bounds_validation():
+    with pytest.raises(ValueError):
+        segment_bounds(4, 5)
+    with pytest.raises(ValueError):
+        segment_bounds(4, 0)
+
+
+def test_paa_transform_means():
+    data = np.array([[1.0, 3.0, 5.0, 7.0]])
+    paa = paa_transform(data, 2)
+    assert paa.tolist() == [[2.0, 6.0]]
+
+
+def test_paa_transform_single_segment():
+    data = np.array([[2.0, 4.0, 6.0]])
+    assert paa_transform(data, 1).tolist() == [[4.0]]
+
+
+def test_paa_lower_bound_identical_is_zero():
+    data = np.random.default_rng(0).normal(size=(1, 16))
+    paa = paa_transform(data, 4)
+    assert paa_lower_bound(paa[0], paa[0], 16) == pytest.approx(0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 100000),
+    dim=st.integers(4, 64),
+    n_segments=st.integers(1, 4),
+)
+def test_property_paa_bound_admissible(seed, dim, n_segments):
+    """The PAA bound never exceeds the true Euclidean distance."""
+    gen = np.random.default_rng(seed)
+    a = gen.normal(size=dim)
+    b = gen.normal(size=dim)
+    pa = paa_transform(a[None, :], n_segments)[0]
+    pb = paa_transform(b[None, :], n_segments)[0]
+    bound = paa_lower_bound(pa, pb, dim)
+    true = np.linalg.norm(a - b)
+    assert bound <= true + 1e-9
+
+
+def test_paa_bound_tightens_with_segments():
+    gen = np.random.default_rng(1)
+    a, b = gen.normal(size=32), gen.normal(size=32)
+    bounds = []
+    for segs in (1, 4, 16, 32):
+        pa = paa_transform(a[None, :], segs)[0]
+        pb = paa_transform(b[None, :], segs)[0]
+        bounds.append(paa_lower_bound(pa, pb, 32))
+    assert bounds == sorted(bounds)
+    # with one segment per dimension the bound is exact
+    assert bounds[-1] == pytest.approx(np.linalg.norm(a - b))

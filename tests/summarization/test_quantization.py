@@ -1,0 +1,81 @@
+"""Unit tests for scalar and product quantization."""
+
+import numpy as np
+import pytest
+
+from repro.summarization.quantization import ProductQuantizer, ScalarQuantizer
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(0)
+    return gen.normal(size=(100, 16)).astype(np.float32)
+
+
+def test_scalar_validation(data):
+    with pytest.raises(ValueError):
+        ScalarQuantizer.fit(data, bits=0)
+
+
+def test_scalar_roundtrip_error_bounded(data):
+    sq = ScalarQuantizer.fit(data, bits=8)
+    decoded = sq.decode(sq.encode(data))
+    errors = np.linalg.norm(decoded - data, axis=1)
+    assert errors.max() <= sq.max_error() + 1e-9
+
+
+def test_scalar_more_bits_less_error(data):
+    errors = []
+    for bits in (2, 4, 8):
+        sq = ScalarQuantizer.fit(data, bits=bits)
+        decoded = sq.decode(sq.encode(data))
+        errors.append(np.linalg.norm(decoded - data, axis=1).mean())
+    assert errors == sorted(errors, reverse=True)
+
+
+def test_scalar_clips_out_of_range(data):
+    sq = ScalarQuantizer.fit(data, bits=4)
+    outlier = np.full((1, 16), 1e6)
+    codes = sq.encode(outlier)
+    assert codes.max() == sq.levels
+
+
+def test_scalar_constant_dimension():
+    data = np.ones((10, 4))
+    sq = ScalarQuantizer.fit(data)
+    assert np.allclose(sq.decode(sq.encode(data)), data)
+
+
+def test_pq_validation(data):
+    with pytest.raises(ValueError):
+        ProductQuantizer.fit(data, n_subspaces=100)
+
+
+def test_pq_codes_shape(data):
+    pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=8)
+    codes = pq.encode(data)
+    assert codes.shape == (100, 4)
+    assert codes.max() < 8
+
+
+def test_pq_decode_reduces_error_vs_mean(data):
+    pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=16)
+    decoded = pq.decode(pq.encode(data))
+    pq_err = np.linalg.norm(decoded - data, axis=1).mean()
+    mean_err = np.linalg.norm(data - data.mean(axis=0), axis=1).mean()
+    assert pq_err < mean_err
+
+
+def test_pq_adc_close_to_true(data):
+    pq = ProductQuantizer.fit(data, n_subspaces=8, n_centroids=16)
+    codes = pq.encode(data)
+    query = data[0]
+    adc = pq.asymmetric_distances(query, codes)
+    true = np.linalg.norm(data - query, axis=1)
+    # ADC should correlate strongly with true distances
+    assert np.corrcoef(adc, true)[0, 1] > 0.9
+
+
+def test_pq_memory(data):
+    pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=8)
+    assert pq.memory_bytes() > 0

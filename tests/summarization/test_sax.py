@@ -1,0 +1,57 @@
+"""Unit and property tests for SAX."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summarization.sax import gaussian_breakpoints, sax_mindist, sax_transform
+
+
+def test_breakpoints_validation():
+    with pytest.raises(ValueError):
+        gaussian_breakpoints(1)
+
+
+def test_breakpoints_symmetric():
+    bp = gaussian_breakpoints(4)
+    assert bp.shape == (3,)
+    assert bp[1] == pytest.approx(0.0, abs=1e-9)
+    assert bp[0] == pytest.approx(-bp[2], abs=1e-9)
+
+
+def test_breakpoints_match_known_values():
+    bp = gaussian_breakpoints(2)
+    assert bp[0] == pytest.approx(0.0, abs=1e-9)
+    bp4 = gaussian_breakpoints(4)
+    assert bp4[0] == pytest.approx(-0.6745, abs=1e-3)  # 25th percentile
+
+
+def test_transform_symbols_in_range():
+    data = np.random.default_rng(0).normal(size=(10, 16))
+    words = sax_transform(data, 4, alphabet_size=8)
+    assert words.min() >= 0
+    assert words.max() < 8
+
+
+def test_identical_words_zero_mindist():
+    word = np.array([1, 3, 5, 2])
+    assert sax_mindist(word, word, 16) == 0.0
+
+
+def test_adjacent_symbols_zero_mindist():
+    a = np.array([2, 2])
+    b = np.array([3, 3])
+    assert sax_mindist(a, b, 8) == 0.0  # adjacent cells touch
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100000))
+def test_property_mindist_admissible(seed):
+    """SAX MINDIST never exceeds the true distance (z-normalized data)."""
+    gen = np.random.default_rng(seed)
+    a = gen.normal(size=16)
+    b = gen.normal(size=16)
+    wa = sax_transform(a[None, :], 4, 8)[0]
+    wb = sax_transform(b[None, :], 4, 8)[0]
+    assert sax_mindist(wa, wb, 16, 8) <= np.linalg.norm(a - b) + 1e-9

@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_methods_lists_all(capsys):
+    assert main(["methods"]) == 0
+    out = capsys.readouterr().out
+    for name in ("HNSW", "ELPIS", "Vamana", "SPTAG-BKT"):
+        assert name in out
+
+
+def test_datasets_lists_hardness(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "seismic" in out and "hard" in out
+    assert "sift" in out and "easy" in out
+
+
+def test_demo_small(capsys):
+    code = main([
+        "demo", "--method", "HCNNG", "--dataset", "deep",
+        "--n", "400", "--queries", "3", "--beam-width", "40",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recall@10" in out
+
+
+def test_complexity(capsys):
+    assert main(["complexity", "--dataset", "randpow0", "--n", "500"]) == 0
+    assert "LID" in capsys.readouterr().out
+
+
+def test_recommend_small_easy(capsys):
+    assert main(["recommend", "--n", "1000"]) == 0
+    assert "HNSW" in capsys.readouterr().out
+
+
+def test_recommend_hard(capsys):
+    assert main(["recommend", "--n", "1000", "--hard"]) == 0
+    out = capsys.readouterr().out
+    assert "ELPIS" in out or "SPTAG" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["demo", "--n", "123"])
+    assert args.n == 123

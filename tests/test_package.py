@@ -1,0 +1,37 @@
+"""Package surface tests: the public API stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_registry_and_generators_consistent():
+    """Every dataset the recommender knows is generatable."""
+    from repro.datasets.synthetic import DATASET_GENERATORS
+    from repro.eval.recommend import HARD_DATASETS
+
+    assert HARD_DATASETS <= set(DATASET_GENERATORS)
+
+
+def test_paradigm_tags_cover_registry():
+    from repro.cli import _PARADIGMS
+    from repro.indexes import METHOD_REGISTRY
+
+    assert set(METHOD_REGISTRY) == set(_PARADIGMS)
+
+
+def test_quickstart_docstring_example():
+    """The module docstring's example must actually work."""
+    from repro import create_index, generate
+
+    data = generate("deep", 300)
+    index = create_index("HCNNG").build(data)
+    result = index.search(data[0], k=5, beam_width=40)
+    assert int(result.ids[0]) == 0

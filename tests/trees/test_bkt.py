@@ -1,0 +1,69 @@
+"""Unit tests for balanced k-means trees."""
+
+import numpy as np
+import pytest
+
+from repro.trees.bkt import BKForest, BKTree
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(1)
+    centers = gen.normal(size=(5, 6)) * 4
+    return (centers[gen.integers(5, size=150)] + 0.3 * gen.normal(size=(150, 6))).astype(
+        np.float32
+    )
+
+
+def test_rejects_bad_params(data):
+    with pytest.raises(ValueError):
+        BKTree.build(data, np.arange(150), 10, 1, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        BKTree.build(data, np.arange(150), 0, 4, np.random.default_rng(0))
+
+
+def test_leaves_partition(data):
+    tree = BKTree.build(data, np.arange(150), 12, 4, np.random.default_rng(0))
+    all_ids = np.concatenate(tree.leaves())
+    assert sorted(all_ids.tolist()) == list(range(150))
+
+
+def test_leaf_size_bound(data):
+    tree = BKTree.build(data, np.arange(150), 12, 4, np.random.default_rng(0))
+    for leaf in tree.leaves():
+        assert leaf.size <= 12
+
+
+def test_search_candidates_nearby(data):
+    tree = BKTree.build(data, np.arange(150), 12, 4, np.random.default_rng(0))
+    cands = tree.search_candidates(data[10], 20)
+    assert 10 in cands
+
+
+def test_search_returns_requested_volume(data):
+    tree = BKTree.build(data, np.arange(150), 12, 4, np.random.default_rng(0))
+    cands = tree.search_candidates(data[0], 40)
+    assert cands.size >= 30
+
+
+def test_memory_bytes(data):
+    tree = BKTree.build(data, np.arange(150), 12, 4, np.random.default_rng(0))
+    assert tree.memory_bytes() > 0
+
+
+def test_forest(data):
+    forest = BKForest.build(data, 2, 12, 4, np.random.default_rng(0))
+    cands = forest.search_candidates(data[5], 20)
+    assert 5 in cands
+    assert forest.memory_bytes() > 0
+
+
+def test_forest_requires_trees():
+    with pytest.raises(ValueError):
+        BKForest([])
+
+
+def test_tiny_dataset():
+    data = np.random.default_rng(0).normal(size=(5, 3)).astype(np.float32)
+    tree = BKTree.build(data, np.arange(5), 2, 4, np.random.default_rng(0))
+    assert sum(leaf.size for leaf in tree.leaves()) == 5

@@ -1,0 +1,71 @@
+"""Unit tests for the Hercules EAPCA tree."""
+
+import numpy as np
+import pytest
+
+from repro.trees.hercules import HerculesTree
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(4)
+    centers = gen.normal(size=(4, 16)) * 3
+    return (centers[gen.integers(4, size=200)] + 0.3 * gen.normal(size=(200, 16))).astype(
+        np.float32
+    )
+
+
+def test_rejects_bad_leaf_size(data):
+    with pytest.raises(ValueError):
+        HerculesTree.build(data, 1)
+
+
+def test_leaves_partition(data):
+    tree = HerculesTree.build(data, 32, n_segments=4)
+    all_ids = np.concatenate([leaf.point_ids for leaf in tree.leaves()])
+    assert sorted(all_ids.tolist()) == list(range(200))
+
+
+def test_leaf_size_bound(data):
+    tree = HerculesTree.build(data, 32, n_segments=4)
+    for leaf in tree.leaves():
+        assert leaf.point_ids.size <= 32
+
+
+def test_lower_bound_admissible(data):
+    """The EAPCA bound never exceeds the true distance to any leaf member."""
+    tree = HerculesTree.build(data, 32, n_segments=4)
+    gen = np.random.default_rng(10)
+    for _ in range(5):
+        query = gen.normal(size=16)
+        for leaf in tree.leaves():
+            lb = leaf.synopsis.lower_bound(query)
+            true_min = np.linalg.norm(
+                data[leaf.point_ids].astype(np.float64) - query, axis=1
+            ).min()
+            assert lb <= true_min + 1e-9
+
+
+def test_rank_leaves_sorted(data):
+    tree = HerculesTree.build(data, 32, n_segments=4)
+    ranked = tree.rank_leaves(np.zeros(16))
+    bounds = [b for b, _ in ranked]
+    assert bounds == sorted(bounds)
+
+
+def test_own_point_leaf_has_zero_bound(data):
+    tree = HerculesTree.build(data, 32, n_segments=4)
+    ranked = tree.rank_leaves(data[0])
+    best_bound, best_leaf = ranked[0]
+    assert best_bound == pytest.approx(0.0, abs=1e-6)
+
+
+def test_segments_capped_by_dim():
+    data = np.random.default_rng(0).normal(size=(50, 3)).astype(np.float32)
+    tree = HerculesTree.build(data, 10, n_segments=16)
+    assert tree.n_segments == 3
+
+
+def test_memory_bytes(data):
+    tree = HerculesTree.build(data, 32, n_segments=4)
+    assert tree.memory_bytes() > 0

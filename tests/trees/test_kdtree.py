@@ -1,0 +1,105 @@
+"""Unit tests for randomized truncated K-D trees."""
+
+import numpy as np
+import pytest
+
+from repro.trees.kdtree import KDForest, KDTree
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(0)
+    return gen.normal(size=(200, 8)).astype(np.float32)
+
+
+def test_rejects_bad_leaf_size(data):
+    with pytest.raises(ValueError):
+        KDTree.build(data, np.arange(200), 0, np.random.default_rng(0))
+
+
+def test_leaves_partition_ids(data):
+    tree = KDTree.build(data, np.arange(200), 10, np.random.default_rng(0))
+    leaves = tree.leaves()
+    all_ids = np.concatenate(leaves)
+    assert sorted(all_ids.tolist()) == list(range(200))
+
+
+def test_leaf_sizes_bounded(data):
+    tree = KDTree.build(data, np.arange(200), 10, np.random.default_rng(0))
+    for leaf in tree.leaves():
+        assert leaf.size <= 10
+
+
+def test_leaf_of_contains_own_point(data):
+    tree = KDTree.build(data, np.arange(200), 10, np.random.default_rng(0))
+    for i in (0, 57, 199):
+        assert i in tree.leaf_of(data[i])
+
+
+def test_search_candidates_returns_enough(data):
+    tree = KDTree.build(data, np.arange(200), 10, np.random.default_rng(0))
+    cands = tree.search_candidates(data[3], 30)
+    assert cands.size >= 30
+
+
+def test_search_candidates_finds_near_points(data):
+    tree = KDTree.build(data, np.arange(200), 10, np.random.default_rng(1))
+    query = data[42]
+    cands = tree.search_candidates(query, 40)
+    assert 42 in cands
+
+
+def test_subset_tree(data):
+    ids = np.arange(50, 150)
+    tree = KDTree.build(data, ids, 8, np.random.default_rng(0))
+    all_ids = np.concatenate(tree.leaves())
+    assert set(all_ids.tolist()) == set(ids.tolist())
+
+
+def test_constant_data_degenerate_split():
+    data = np.ones((40, 4), dtype=np.float32)
+    tree = KDTree.build(data, np.arange(40), 5, np.random.default_rng(0))
+    assert sum(leaf.size for leaf in tree.leaves()) == 40
+
+
+def test_memory_bytes_positive(data):
+    tree = KDTree.build(data, np.arange(200), 10, np.random.default_rng(0))
+    assert tree.memory_bytes() > 0
+
+
+def test_forest_requires_trees():
+    with pytest.raises(ValueError):
+        KDForest([])
+
+
+def test_forest_build_and_search(data):
+    forest = KDForest.build(data, 3, 10, np.random.default_rng(0))
+    cands = forest.search_candidates(data[7], 20)
+    assert 7 in cands
+
+
+def test_forest_trees_are_randomized(data):
+    forest = KDForest.build(data, 2, 10, np.random.default_rng(0))
+    l0 = [tuple(sorted(leaf.tolist())) for leaf in forest.trees[0].leaves()]
+    l1 = [tuple(sorted(leaf.tolist())) for leaf in forest.trees[1].leaves()]
+    assert l0 != l1
+
+
+def test_forest_initial_neighbor_lists_shape(data):
+    forest = KDForest.build(data, 2, 10, np.random.default_rng(0))
+    lists = forest.initial_neighbor_lists(200, 6, np.random.default_rng(0))
+    assert lists.shape == (200, 6)
+    for node in range(200):
+        assert node not in lists[node]
+
+
+def test_forest_initial_lists_prefer_leafmates(data):
+    forest = KDForest.build(data, 2, 20, np.random.default_rng(0))
+    lists = forest.initial_neighbor_lists(200, 6, np.random.default_rng(0))
+    leafmates = set()
+    for tree in forest.trees:
+        for leaf in tree.leaves():
+            if 0 in leaf:
+                leafmates.update(leaf.tolist())
+    overlap = len(set(lists[0].tolist()) & leafmates)
+    assert overlap >= 3

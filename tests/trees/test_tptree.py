@@ -1,0 +1,66 @@
+"""Unit tests for trinary-projection trees."""
+
+import numpy as np
+import pytest
+
+from repro.trees.tptree import TPTree
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(2)
+    return gen.normal(size=(180, 10)).astype(np.float32)
+
+
+def test_rejects_bad_leaf_size(data):
+    with pytest.raises(ValueError):
+        TPTree.build(data, 0, np.random.default_rng(0))
+
+
+def test_leaves_partition(data):
+    tree = TPTree.build(data, 20, np.random.default_rng(0))
+    all_ids = np.concatenate(tree.leaves())
+    assert sorted(all_ids.tolist()) == list(range(180))
+
+
+def test_leaf_size_bound(data):
+    tree = TPTree.build(data, 20, np.random.default_rng(0))
+    for leaf in tree.leaves():
+        assert leaf.size <= 20
+
+
+def test_leaf_of_own_point(data):
+    tree = TPTree.build(data, 20, np.random.default_rng(0))
+    for i in (0, 90, 179):
+        assert i in tree.leaf_of(data[i])
+
+
+def test_partitions_differ_across_seeds(data):
+    t0 = TPTree.build(data, 20, np.random.default_rng(0))
+    t1 = TPTree.build(data, 20, np.random.default_rng(1))
+    l0 = sorted(tuple(sorted(l.tolist())) for l in t0.leaves())
+    l1 = sorted(tuple(sorted(l.tolist())) for l in t1.leaves())
+    assert l0 != l1
+
+
+def test_subset(data):
+    ids = np.arange(40, 120)
+    tree = TPTree.build(data, 15, np.random.default_rng(0), ids=ids)
+    assert set(np.concatenate(tree.leaves()).tolist()) == set(ids.tolist())
+
+
+def test_low_dim_data():
+    data = np.random.default_rng(0).normal(size=(50, 2)).astype(np.float32)
+    tree = TPTree.build(data, 10, np.random.default_rng(0))
+    assert sum(leaf.size for leaf in tree.leaves()) == 50
+
+
+def test_constant_data():
+    data = np.zeros((30, 5), dtype=np.float32)
+    tree = TPTree.build(data, 8, np.random.default_rng(0))
+    assert sum(leaf.size for leaf in tree.leaves()) == 30
+
+
+def test_memory_bytes(data):
+    tree = TPTree.build(data, 20, np.random.default_rng(0))
+    assert tree.memory_bytes() > 0

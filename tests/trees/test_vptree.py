@@ -1,0 +1,55 @@
+"""Unit tests for vantage-point trees."""
+
+import numpy as np
+import pytest
+
+from repro.trees.vptree import VPTree
+
+
+@pytest.fixture()
+def data():
+    gen = np.random.default_rng(3)
+    return gen.normal(size=(150, 6)).astype(np.float32)
+
+
+def test_rejects_bad_leaf_size(data):
+    with pytest.raises(ValueError):
+        VPTree.build(data, 0, np.random.default_rng(0))
+
+
+def test_search_finds_self(data):
+    tree = VPTree.build(data, 8, np.random.default_rng(0))
+    found = tree.search(data[12], k=5, max_examined=1000)
+    assert found[0] == 12
+
+
+def test_search_quality_vs_exact(data):
+    tree = VPTree.build(data, 8, np.random.default_rng(0))
+    gen = np.random.default_rng(9)
+    query = gen.normal(size=6)
+    exact = np.argsort(np.linalg.norm(data - query, axis=1))[:5]
+    found = tree.search(query, k=5, max_examined=2000)
+    assert len(set(exact.tolist()) & set(found.tolist())) >= 4
+
+
+def test_budget_limits_examinations(data):
+    tree = VPTree.build(data, 8, np.random.default_rng(0))
+    tree.search(np.zeros(6), k=3, max_examined=20)
+    assert tree.last_examined <= 20 + 8  # may finish the current leaf
+
+
+def test_search_returns_at_most_k(data):
+    tree = VPTree.build(data, 8, np.random.default_rng(0))
+    assert tree.search(np.zeros(6), k=3).size <= 3
+
+
+def test_duplicate_points_leaf():
+    data = np.ones((20, 4), dtype=np.float32)
+    tree = VPTree.build(data, 4, np.random.default_rng(0))
+    found = tree.search(np.ones(4), k=3, max_examined=100)
+    assert found.size == 3
+
+
+def test_memory_bytes(data):
+    tree = VPTree.build(data, 8, np.random.default_rng(0))
+    assert tree.memory_bytes() > 0
