@@ -24,19 +24,21 @@ from __future__ import annotations
 from .core.beam_search import SearchResult, beam_search
 from .core.distances import DistanceComputer
 from .core.diversification import DIVERSIFIERS, get_diversifier
-from .core.graph import Graph
+from .core.graph import CSRGraph, Graph
 from .core.incremental import build_ii_graph
 from .core.seeds import SEED_STRATEGIES, get_seed_strategy
 from .datasets.complexity import dataset_complexity
 from .datasets.synthetic import DATASET_GENERATORS, generate, tier_size
 from .eval.metrics import ground_truth, recall
+from .eval.parallel import run_batch
 from .eval.recommend import recommend
-from .eval.runner import sweep_beam_widths
+from .eval.runner import run_workload, sweep_beam_widths
 from .indexes import METHOD_REGISTRY, create_index
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CSRGraph",
     "DistanceComputer",
     "Graph",
     "SearchResult",
@@ -52,6 +54,8 @@ __all__ = [
     "dataset_complexity",
     "recall",
     "ground_truth",
+    "run_batch",
+    "run_workload",
     "sweep_beam_widths",
     "recommend",
     "create_index",

@@ -78,12 +78,18 @@ def _cmd_demo(args) -> int:
         f"{index.build_report.distance_calls:,} distance calls, "
         f"{index.memory_bytes() // 1024} KiB"
     )
-    measurement = run_workload(index, queries, truth, args.k, args.beam_width)
+    measurement = run_workload(
+        index, queries, truth, args.k, args.beam_width, n_workers=args.workers
+    )
     print(
         f"recall@{args.k}: {measurement.recall:.3f}  "
         f"mean distance calls/query: {measurement.mean_distance_calls:.0f}  "
         f"mean latency: {1000 * measurement.mean_time_s:.2f} ms"
     )
+    if args.stats:
+        from .eval.reporting import format_query_stats
+
+        print(format_query_stats(measurement))
     return 0
 
 
@@ -129,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--k", type=int, default=10)
     demo.add_argument("--beam-width", type=int, default=64)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the query batch (1 = the paper's "
+        "sequential protocol; results are identical either way)",
+    )
+    demo.add_argument(
+        "--stats",
+        action="store_true",
+        help="print latency percentiles (p50/p95/p99) and throughput",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     comp = sub.add_parser("complexity", help="LID/LRC hardness profile")

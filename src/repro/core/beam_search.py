@@ -92,6 +92,12 @@ def beam_search(
     seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
     if seeds.size == 0:
         raise ValueError("at least one seed is required")
+    if seeds[0] < 0 or seeds[-1] >= graph.n:
+        bad = seeds[(seeds < 0) | (seeds >= graph.n)]
+        raise ValueError(
+            f"seed ids {bad.tolist()} are outside the graph's node range "
+            f"[0, {graph.n})"
+        )
     queue = NeighborQueue(beam_width)
     visit_order: list[np.ndarray] = []
     visit_dists: list[np.ndarray] = []

@@ -69,6 +69,33 @@ class DistanceComputer:
         self._sq_norms = (self._data64 * self._data64).sum(axis=1)
         self.count = 0
 
+    @classmethod
+    def from_shared(
+        cls, data: np.ndarray, data64: np.ndarray, sq_norms: np.ndarray
+    ) -> "DistanceComputer":
+        """Wrap pre-computed arrays without copying them.
+
+        This is the worker-side constructor of the parallel batch-query
+        engine: ``data`` (float32), ``data64`` (the float64 working copy) and
+        ``sq_norms`` are views onto ``multiprocessing.shared_memory`` buffers
+        owned by the parent process, so every worker shares one physical copy
+        of the dataset while keeping its own independent distance counter.
+        """
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if data64.shape != data.shape or sq_norms.shape != (data.shape[0],):
+            raise ValueError(
+                f"shared array shapes disagree: data {data.shape}, "
+                f"data64 {data64.shape}, sq_norms {sq_norms.shape}"
+            )
+        computer = cls.__new__(cls)
+        computer.data = data
+        computer.n, computer.dim = data.shape
+        computer._data64 = data64
+        computer._sq_norms = sq_norms
+        computer.count = 0
+        return computer
+
     # ------------------------------------------------------------------
     # accounting helpers
     # ------------------------------------------------------------------

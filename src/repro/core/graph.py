@@ -13,7 +13,38 @@ from collections import deque
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "CSRGraph", "validate_csr"]
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def validate_csr(indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+    """Check that ``(indptr, indices)`` is a well-formed CSR graph over ``n`` nodes.
+
+    Raises ``ValueError`` naming the first violated invariant: ``indptr`` must
+    have ``n + 1`` entries, start at 0, be monotonically non-decreasing, and
+    end at ``len(indices)``; every index must lie in ``[0, n)``.
+    """
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    if indptr.ndim != 1 or indptr.shape[0] != n + 1:
+        raise ValueError(
+            f"corrupt CSR graph: indptr has {indptr.shape} entries, expected ({n + 1},)"
+        )
+    if indptr.shape[0] and indptr[0] != 0:
+        raise ValueError(f"corrupt CSR graph: indptr[0] = {indptr[0]}, expected 0")
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError("corrupt CSR graph: indptr is not monotonically non-decreasing")
+    if int(indptr[-1]) != indices.shape[0]:
+        raise ValueError(
+            f"corrupt CSR graph: indptr[-1] = {int(indptr[-1])} but "
+            f"indices has {indices.shape[0]} entries"
+        )
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        raise ValueError(
+            f"corrupt CSR graph: neighbor ids span "
+            f"[{int(indices.min())}, {int(indices.max())}], valid range is [0, {n})"
+        )
 
 
 class Graph:
@@ -111,13 +142,40 @@ class Graph:
         This is the contiguous layout used by the Figure-17 "optimized"
         variants: one allocation, no per-node Python objects.
         """
+        if self.n and self.n - 1 > _INT32_MAX:
+            raise ValueError(
+                f"graph too large for int32 CSR indices: node ids up to "
+                f"{self.n - 1} exceed the int32 range ({_INT32_MAX})"
+            )
         degrees = self.degrees()
         indptr = np.zeros(self.n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        num_edges = int(indptr[-1])
+        if num_edges > _INT32_MAX:
+            raise ValueError(
+                f"graph too large for int32 CSR indices: {num_edges} edges "
+                f"exceed the int32 range ({_INT32_MAX})"
+            )
+        indices = np.empty(num_edges, dtype=np.int32)
         for node in range(self.n):
             indices[indptr[node] : indptr[node + 1]] = self._adj[node]
         return indptr, indices
+
+    @classmethod
+    def from_csr(cls, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+        """Rebuild a graph from validated CSR arrays (inverse of :meth:`to_csr`).
+
+        Vectorized: one int64 copy of ``indices`` plus ``np.split`` views into
+        it, instead of ``n`` Python-level slice-and-copy round trips.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        n = max(indptr.shape[0] - 1, 0)
+        validate_csr(indptr, indices, n)
+        graph = cls(n)
+        if n and indices.size:
+            flat = np.ascontiguousarray(indices, dtype=np.int64)
+            graph._adj = np.split(flat, indptr[1:-1])
+        return graph
 
     @classmethod
     def from_neighbor_lists(cls, lists) -> "Graph":
@@ -137,3 +195,60 @@ class Graph:
         out = Graph(self.n)
         out._adj = [a.copy() for a in self._adj]
         return out
+
+
+class CSRGraph:
+    """Read-only CSR view of a proximity graph, search-compatible with
+    :class:`Graph`.
+
+    Exposes the same ``n`` / ``neighbors()`` surface that
+    :func:`~repro.core.beam_search.beam_search` and the query paths of the
+    graph indexes consume, but over two flat arrays instead of ``n`` Python
+    objects.  Because it is just a pair of arrays it can sit directly on a
+    ``multiprocessing.shared_memory`` buffer, which is how the parallel
+    batch-query engine hands one graph to many worker processes without
+    copying it.
+    """
+
+    __slots__ = ("n", "indptr", "indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, validate: bool = True):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices)
+        n = max(indptr.shape[0] - 1, 0)
+        if validate:
+            validate_csr(indptr, indices, n)
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+
+    @classmethod
+    def from_graph(cls, graph: "Graph") -> "CSRGraph":
+        """Flatten a :class:`Graph` (validation is skipped: ``to_csr`` output
+        is well-formed by construction)."""
+        indptr, indices = graph.to_csr()
+        return cls(indptr, indices, validate=False)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbors of ``node`` (do not mutate the returned array)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        return np.diff(self.indptr)
+
+    def num_edges(self) -> int:
+        """Total number of directed edges."""
+        return int(self.indices.shape[0])
+
+    def to_graph(self) -> "Graph":
+        """Materialize an adjacency-list :class:`Graph` copy."""
+        return Graph.from_csr(self.indptr, self.indices)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the two CSR arrays."""
+        return int(self.indptr.nbytes + self.indices.nbytes)

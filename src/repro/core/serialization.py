@@ -36,7 +36,15 @@ def save_graph(graph: Graph, path: str | Path) -> Path:
 
 
 def load_graph(path: str | Path) -> Graph:
-    """Read a graph previously written by :func:`save_graph`."""
+    """Read a graph previously written by :func:`save_graph`.
+
+    The CSR arrays are validated before any node is constructed (``indptr``
+    monotone and consistent with ``n``/``indices``, every neighbor id inside
+    ``[0, n)``), so a truncated or bit-flipped file fails loudly here instead
+    of crashing a later search.  The rebuild itself is vectorized
+    (``Graph.from_csr``, one ``np.split`` over a single int64 copy) because
+    the parallel batch-query engine reloads graphs in every worker.
+    """
     with np.load(path) as payload:
         version = int(payload["version"][0])
         if version != _FORMAT_VERSION:
@@ -47,9 +55,14 @@ def load_graph(path: str | Path) -> Graph:
         n = int(payload["n"][0])
         indptr = payload["indptr"]
         indices = payload["indices"]
+    if n < 0:
+        raise ValueError(f"corrupt graph file: negative node count {n}")
     if indptr.shape[0] != n + 1:
-        raise ValueError("corrupt graph file: indptr does not match n")
-    graph = Graph(n)
-    for node in range(n):
-        graph.set_neighbors(node, indices[indptr[node] : indptr[node + 1]])
-    return graph
+        raise ValueError(
+            f"corrupt graph file: indptr has {indptr.shape[0]} entries, "
+            f"expected n + 1 = {n + 1}"
+        )
+    try:
+        return Graph.from_csr(indptr, indices)
+    except ValueError as exc:
+        raise ValueError(f"corrupt graph file {Path(path)}: {exc}") from exc

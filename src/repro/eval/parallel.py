@@ -1,0 +1,248 @@
+"""Parallel batch-query execution engine with deterministic accounting.
+
+The paper's protocol answers queries one at a time in a single thread; a
+serving-shaped system answers the same batch across worker processes.  This
+module does both behind one entry point, :func:`run_batch`, with one hard
+guarantee: **for a fixed index seed, the per-query answers, recall, and total
+distance-calculation counts are identical for every worker count** (ParlayANN
+calls this deterministic parallelism).  Two mechanisms deliver it:
+
+* every query ``i`` is answered under an RNG derived only from
+  ``(index.seed, i)`` (``BaseIndex.seed_query_rng``), never from how many
+  queries the answering process saw before;
+* per-query distance calls are measured as ``computer.since(mark)`` deltas,
+  which are independent of the counter's absolute value, so summing the
+  ordered per-query outcomes reproduces the sequential aggregate exactly.
+
+Workers never re-pickle the dataset or the graph.  The parent places the
+float32/float64 dataset copies, the squared norms, and the CSR-flattened
+graph into ``multiprocessing.shared_memory`` segments
+(:class:`SharedArrayPack`); each worker unpickles a skeleton index (heavy
+arrays stripped by ``BaseIndex.__getstate__``) and re-attaches zero-copy
+views (``DistanceComputer.from_shared`` + ``CSRGraph``), keeping its own
+independent distance counter.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from ..indexes.base import BaseIndex
+
+__all__ = ["QueryOutcome", "BatchResult", "SharedArrayPack", "run_batch"]
+
+
+@dataclass
+class QueryOutcome:
+    """Answer and accounting for one query of a batch."""
+
+    query_index: int
+    ids: np.ndarray
+    dists: np.ndarray
+    distance_calls: int
+    hops: int
+    time_s: float
+
+
+@dataclass
+class BatchResult:
+    """Ordered per-query outcomes plus batch-level wall time."""
+
+    outcomes: list[QueryOutcome]
+    wall_time_s: float
+    n_workers: int
+
+    @property
+    def total_distance_calls(self) -> int:
+        """Aggregate distance calculations across the batch (exact)."""
+        return sum(outcome.distance_calls for outcome in self.outcomes)
+
+    @property
+    def qps(self) -> float:
+        """Queries answered per second of batch wall time."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return len(self.outcomes) / self.wall_time_s
+
+
+class SharedArrayPack:
+    """Copies named arrays into ``multiprocessing.shared_memory`` segments.
+
+    The parent constructs one pack per batch and passes ``specs`` (segment
+    name, shape, dtype per array) to the workers, which attach zero-copy
+    views via :meth:`attach`.  The parent must call :meth:`unlink` when the
+    batch completes.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.specs: dict[str, tuple[str, tuple, str]] = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self.specs[name] = (segment.name, array.shape, array.dtype.str)
+        except BaseException:
+            self.unlink()
+            raise
+
+    @staticmethod
+    def attach(
+        specs: dict[str, tuple[str, tuple, str]]
+    ) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
+        """Worker side: mount every segment and return array views.
+
+        The returned segment handles must stay referenced as long as the
+        arrays are in use (the views borrow their buffers).
+        """
+        arrays: dict[str, np.ndarray] = {}
+        segments: list[shared_memory.SharedMemory] = []
+        for name, (segment_name, shape, dtype) in specs.items():
+            segment = shared_memory.SharedMemory(name=segment_name)
+            segments.append(segment)
+            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        return arrays, segments
+
+    def unlink(self) -> None:
+        """Release every segment (parent side, after the batch)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+        self._segments = []
+
+
+# ----------------------------------------------------------------------
+# worker process state and entry points
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _worker_init(index_bytes: bytes, specs: dict, k: int, beam_width: int | None) -> None:
+    """Pool initializer: mount shared arrays and rebuild the index skeleton."""
+    arrays, segments = SharedArrayPack.attach(specs)
+    index = pickle.loads(index_bytes)
+    index.attach_shared_query_state(arrays)
+    queries = arrays["batch_queries"]
+    _WORKER.update(
+        index=index,
+        queries=queries,
+        k=k,
+        beam_width=beam_width,
+        segments=segments,
+    )
+
+
+def _worker_run_chunk(query_indices: np.ndarray) -> list[tuple]:
+    """Answer a chunk of queries by global index; returns plain tuples."""
+    index = _WORKER["index"]
+    queries = _WORKER["queries"]
+    k = _WORKER["k"]
+    beam_width = _WORKER["beam_width"]
+    out = []
+    for query_index in query_indices:
+        outcome = _answer_one(index, queries[query_index], int(query_index), k, beam_width)
+        out.append(
+            (
+                outcome.query_index,
+                outcome.ids,
+                outcome.dists,
+                outcome.distance_calls,
+                outcome.hops,
+                outcome.time_s,
+            )
+        )
+    return out
+
+
+def _answer_one(
+    index: BaseIndex,
+    query: np.ndarray,
+    query_index: int,
+    k: int,
+    beam_width: int | None,
+) -> QueryOutcome:
+    """Answer one query under its deterministic per-query RNG."""
+    index.seed_query_rng(query_index)
+    start = time.perf_counter()
+    result = index.search(query, k=k, beam_width=beam_width)
+    elapsed = time.perf_counter() - start
+    return QueryOutcome(
+        query_index=query_index,
+        ids=result.ids,
+        dists=result.dists,
+        distance_calls=result.distance_calls,
+        hops=result.hops,
+        time_s=elapsed,
+    )
+
+
+def run_batch(
+    index: BaseIndex,
+    queries: np.ndarray,
+    k: int,
+    beam_width: int | None = None,
+    n_workers: int = 1,
+    chunks_per_worker: int = 4,
+) -> BatchResult:
+    """Answer a query batch, sequentially or across worker processes.
+
+    ``n_workers=1`` answers in-process (the paper's sequential protocol);
+    ``n_workers>1`` shards the batch over a process pool.  Either way the
+    outcomes come back ordered by query index and are bit-identical for a
+    fixed index seed.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    queries = np.atleast_2d(np.asarray(queries))
+    n_queries = queries.shape[0]
+    start = time.perf_counter()
+    if n_workers == 1 or n_queries <= 1:
+        outcomes = [
+            _answer_one(index, queries[i], i, k, beam_width)
+            for i in range(n_queries)
+        ]
+        return BatchResult(outcomes, time.perf_counter() - start, 1)
+
+    shared = dict(index.shared_query_state())
+    shared["batch_queries"] = queries
+    pack = SharedArrayPack(shared)
+    index_bytes = pickle.dumps(index)
+    n_workers = min(n_workers, n_queries)
+    chunks = np.array_split(
+        np.arange(n_queries), min(n_queries, n_workers * chunks_per_worker)
+    )
+    try:
+        # fork shares the parent's modules, so even __main__-defined index
+        # classes unpickle; platforms without fork fall back to spawn
+        context = get_context("fork")
+    except ValueError:
+        context = get_context("spawn")
+    try:
+        with context.Pool(
+            processes=n_workers,
+            initializer=_worker_init,
+            initargs=(index_bytes, pack.specs, k, beam_width),
+        ) as pool:
+            chunk_results = pool.map(_worker_run_chunk, chunks)
+        outcomes = [
+            QueryOutcome(*fields)
+            for chunk in chunk_results
+            for fields in chunk
+        ]
+    finally:
+        pack.unlink()
+    outcomes.sort(key=lambda outcome: outcome.query_index)
+    return BatchResult(outcomes, time.perf_counter() - start, n_workers)

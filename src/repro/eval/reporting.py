@@ -12,7 +12,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-__all__ = ["format_table", "Report"]
+__all__ = ["format_table", "format_query_stats", "Report"]
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -30,6 +30,26 @@ def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
     for row in cells:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_query_stats(measurement) -> str:
+    """Render a :class:`~repro.eval.runner.QueryMeasurement` latency/throughput
+    summary (the ``--stats`` output of the CLI demo)."""
+    return format_table(
+        ["metric", "value"],
+        [
+            ["recall", measurement.recall],
+            ["mean dist calls/query", measurement.mean_distance_calls],
+            ["total dist calls", measurement.total_distance_calls],
+            ["mean latency (ms)", 1000 * measurement.mean_time_s],
+            ["p50 latency (ms)", 1000 * measurement.p50_time_s],
+            ["p95 latency (ms)", 1000 * measurement.p95_time_s],
+            ["p99 latency (ms)", 1000 * measurement.p99_time_s],
+            ["throughput (QPS)", measurement.qps],
+            ["workers", measurement.n_workers],
+        ],
+        title=f"query stats @ beam width {measurement.beam_width}",
+    )
 
 
 def _fmt(value) -> str:

@@ -9,14 +9,15 @@ calculations, and peak Python-heap bytes (Figures 7-8).
 
 from __future__ import annotations
 
-import time
 import tracemalloc
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..indexes.base import BaseIndex
 from .metrics import ground_truth, recall
+from .parallel import run_batch
 
 __all__ = [
     "BuildMeasurement",
@@ -43,13 +44,26 @@ class BuildMeasurement:
 
 @dataclass
 class QueryMeasurement:
-    """One workload run at a fixed beam width."""
+    """One workload run at a fixed beam width.
+
+    ``mean_*`` fields keep the paper's per-query averages; the latency
+    percentiles, throughput, and exact aggregate counter were added with the
+    parallel batch-query engine (``n_workers`` records how the batch ran —
+    the answers themselves are worker-count-invariant).
+    """
 
     beam_width: int
     recall: float
     mean_distance_calls: float
     mean_hops: float
     mean_time_s: float
+    p50_time_s: float = 0.0
+    p95_time_s: float = 0.0
+    p99_time_s: float = 0.0
+    qps: float = 0.0
+    total_distance_calls: int = 0
+    wall_time_s: float = 0.0
+    n_workers: int = 1
 
 
 @dataclass
@@ -69,10 +83,15 @@ def build_with_tracking(index: BaseIndex, data: np.ndarray) -> BuildMeasurement:
     Peak memory is the Python-heap high-water mark during construction
     (tracemalloc), standing in for the paper's ``/proc`` VmPeak probe.
     """
-    tracemalloc.start()
-    index.build(data)
-    _, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    try:
+        index.build(data)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
     return BuildMeasurement(
         name=index.name,
         wall_time_s=index.build_report.wall_time_s,
@@ -88,23 +107,43 @@ def run_workload(
     truth_ids: np.ndarray,
     k: int,
     beam_width: int,
+    n_workers: int = 1,
 ) -> QueryMeasurement:
-    """Run every query sequentially (the paper's protocol) at one beam width."""
+    """Run one workload at one beam width over the batch-query engine.
+
+    ``n_workers=1`` (the default) keeps the paper's sequential protocol;
+    larger values shard the batch across worker processes.  Recall and the
+    aggregate distance-calculation count are identical for every worker
+    count (see :mod:`repro.eval.parallel`).
+    """
     queries = np.atleast_2d(np.asarray(queries))
-    recalls, calls, hops, times = [], [], [], []
-    for query, truth in zip(queries, truth_ids):
-        start = time.perf_counter()
-        result = index.search(query, k=k, beam_width=beam_width)
-        times.append(time.perf_counter() - start)
-        recalls.append(recall(result.ids, truth[:k]))
-        calls.append(result.distance_calls)
-        hops.append(result.hops)
+    truth_ids = np.atleast_2d(np.asarray(truth_ids))
+    if queries.shape[0] != truth_ids.shape[0]:
+        raise ValueError(
+            f"queries and truth_ids disagree: {queries.shape[0]} queries vs "
+            f"{truth_ids.shape[0]} ground-truth rows"
+        )
+    batch = run_batch(index, queries, k=k, beam_width=beam_width, n_workers=n_workers)
+    recalls = [
+        recall(outcome.ids, truth[:k])
+        for outcome, truth in zip(batch.outcomes, truth_ids)
+    ]
+    calls = [outcome.distance_calls for outcome in batch.outcomes]
+    hops = [outcome.hops for outcome in batch.outcomes]
+    times = [outcome.time_s for outcome in batch.outcomes]
     return QueryMeasurement(
         beam_width=beam_width,
         recall=float(np.mean(recalls)),
         mean_distance_calls=float(np.mean(calls)),
         mean_hops=float(np.mean(hops)),
         mean_time_s=float(np.mean(times)),
+        p50_time_s=float(np.percentile(times, 50)),
+        p95_time_s=float(np.percentile(times, 95)),
+        p99_time_s=float(np.percentile(times, 99)),
+        qps=batch.qps,
+        total_distance_calls=batch.total_distance_calls,
+        wall_time_s=batch.wall_time_s,
+        n_workers=batch.n_workers,
     )
 
 
@@ -114,13 +153,33 @@ def sweep_beam_widths(
     truth_ids: np.ndarray,
     k: int = 10,
     beam_widths: tuple[int, ...] = (10, 20, 40, 80, 160, 320),
+    n_workers: int = 1,
 ) -> list[SweepPoint]:
-    """Trace the recall / distance-calculation tradeoff curve of a method."""
+    """Trace the recall / distance-calculation tradeoff curve of a method.
+
+    Beam widths below ``k`` cannot hold ``k`` answers and are dropped with a
+    warning naming them; if *every* width is below ``k`` the curve would be
+    silently empty, so that raises instead.
+    """
+    dropped = [width for width in beam_widths if width < k]
+    if dropped:
+        if len(dropped) == len(beam_widths):
+            raise ValueError(
+                f"all beam widths {list(beam_widths)} are < k={k}; "
+                "the sweep would be empty"
+            )
+        warnings.warn(
+            f"dropping beam widths {dropped} < k={k} from the sweep",
+            UserWarning,
+            stacklevel=2,
+        )
     curve: list[SweepPoint] = []
     for width in beam_widths:
         if width < k:
             continue
-        measurement = run_workload(index, queries, truth_ids, k, width)
+        measurement = run_workload(
+            index, queries, truth_ids, k, width, n_workers=n_workers
+        )
         curve.append(
             SweepPoint(
                 beam_width=width,

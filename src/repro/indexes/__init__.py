@@ -22,6 +22,7 @@ from .ngt import NGTIndex
 from .nsg import NSGIndex
 from .nsw import NSWIndex
 from .optimized import OptimizedIndex
+from .randomgraph import RandomGraphIndex
 from .sptag import SPTAGIndex
 from .ssg import SSGIndex
 from .vamana import VamanaIndex
@@ -47,6 +48,7 @@ __all__ = [
     "IEHIndex",
     "IVFIndex",
     "OptimizedIndex",
+    "RandomGraphIndex",
     "METHOD_REGISTRY",
     "create_index",
 ]

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.beam_search import SearchResult, beam_search
 from ..core.distances import DistanceComputer
-from ..core.graph import Graph
+from ..core.graph import CSRGraph, Graph
 
 __all__ = ["BuildReport", "BaseIndex", "BaseGraphIndex"]
 
@@ -80,6 +80,51 @@ class BaseIndex(abc.ABC):
             raise RuntimeError(f"{self.name}: call build() before search()")
         return self.computer
 
+    # ------------------------------------------------------------------
+    # batch-engine contract: deterministic per-query randomness and
+    # shared-memory state for worker processes
+    # ------------------------------------------------------------------
+    def seed_query_rng(self, query_index: int) -> None:
+        """Reseed the per-query RNG deterministically from ``query_index``.
+
+        The batch-query engine calls this before every query so that seed
+        selection depends only on ``(self.seed, query_index)`` — never on how
+        many queries ran before in the same process.  That is what makes a
+        sharded parallel run bit-identical to the sequential one.
+        """
+        self._query_rng = np.random.default_rng(
+            (self.seed ^ 0x5EED, int(query_index))
+        )
+
+    def shared_query_state(self) -> dict[str, np.ndarray]:
+        """Arrays the batch engine should place in shared memory.
+
+        The returned arrays are stripped from the pickled index (see
+        ``__getstate__``) and re-attached in each worker via
+        :meth:`attach_shared_query_state`.
+        """
+        computer = self._require_built()
+        return {
+            "data": computer.data,
+            "data64": computer._data64,
+            "sq_norms": computer._sq_norms,
+        }
+
+    def attach_shared_query_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Rebind this (unpickled) index to shared-memory array views."""
+        self.computer = DistanceComputer.from_shared(
+            arrays["data"], arrays["data64"], arrays["sq_norms"]
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle without the dataset; workers re-attach it from shared memory."""
+        state = self.__dict__.copy()
+        state["computer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 class BaseGraphIndex(BaseIndex):
     """Graph-backed methods: beam search over ``self.graph`` with seeds."""
@@ -125,6 +170,34 @@ class BaseGraphIndex(BaseIndex):
     def memory_bytes(self) -> int:
         """Graph adjacency bytes; subclasses add their seed structures."""
         return self.graph.memory_bytes() if self.graph is not None else 0
+
+    def shared_query_state(self) -> dict[str, np.ndarray]:
+        """Dataset arrays plus the graph flattened to CSR."""
+        state = super().shared_query_state()
+        if self.graph is not None:
+            if isinstance(self.graph, CSRGraph):
+                indptr, indices = self.graph.indptr, self.graph.indices
+            else:
+                indptr, indices = self.graph.to_csr()
+            state["csr_indptr"] = indptr
+            state["csr_indices"] = indices
+        return state
+
+    def attach_shared_query_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Rebind the dataset and mount the graph as a zero-copy CSR view."""
+        super().attach_shared_query_state(arrays)
+        if "csr_indptr" in arrays:
+            self.graph = CSRGraph(
+                arrays["csr_indptr"], arrays["csr_indices"], validate=False
+            )
+        self._visited_scratch = None
+
+    def __getstate__(self) -> dict:
+        """Pickle without graph/scratch; workers re-attach the CSR view."""
+        state = super().__getstate__()
+        state["graph"] = None
+        state["_visited_scratch"] = None
+        return state
 
     def degree_stats(self) -> dict[str, float]:
         """Mean/max out-degree — handy for graph-shape assertions in tests."""

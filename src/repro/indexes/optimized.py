@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.beam_search import SearchResult
+from ..core.graph import CSRGraph
 from ..core.heap import NeighborQueue
 from .base import BaseGraphIndex, BaseIndex
 
@@ -84,6 +85,37 @@ class OptimizedIndex(BaseIndex):
             hops=hops,
             visited=np.empty(0, dtype=np.int64),
         )
+
+    def seed_query_rng(self, query_index: int) -> None:
+        """Reseed both this wrapper and the base index (seed selection runs
+        inside the base's ``_query_seeds``)."""
+        super().seed_query_rng(query_index)
+        self.base.seed_query_rng(query_index)
+
+    def shared_query_state(self) -> dict[str, np.ndarray]:
+        """Dataset arrays plus this wrapper's already-flat CSR arrays."""
+        state = BaseIndex.shared_query_state(self)
+        state["csr_indptr"] = self.indptr
+        state["csr_indices"] = self.indices
+        return state
+
+    def attach_shared_query_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Rebind the wrapper and its base index to one shared view each."""
+        BaseIndex.attach_shared_query_state(self, arrays)
+        self.indptr = arrays["csr_indptr"]
+        self.indices = arrays["csr_indices"]
+        # seed selection runs inside the base index; give it the same shared
+        # computer (one distance counter) and a CSR view of the same graph
+        self.base.computer = self.computer
+        self.base.graph = CSRGraph(self.indptr, self.indices, validate=False)
+        self.base._visited_scratch = None
+
+    def __getstate__(self) -> dict:
+        """Pickle without the CSR arrays; workers re-attach them shared."""
+        state = super().__getstate__()
+        state["indptr"] = None
+        state["indices"] = None
+        return state
 
     def memory_bytes(self) -> int:
         """CSR arrays plus the base method's seed structures."""

@@ -127,3 +127,29 @@ def test_recall_improves_with_beam_width(small_graph, tiny_queries):
             hits += len(set(gt.tolist()) & set(res.ids.tolist()))
         totals[width] = hits
     assert totals[60] >= totals[5]
+
+
+def test_out_of_range_seed_raises_clear_error(small_graph):
+    """Regression: an out-of-range seed used to surface as an IndexError
+    deep inside the distance kernel."""
+    computer, graph = small_graph
+    query = np.zeros(computer.dim, dtype=np.float32)
+    with pytest.raises(ValueError, match=r"\[0, 300\)"):
+        beam_search(graph, computer, query, [graph.n], k=5, beam_width=10)
+    with pytest.raises(ValueError, match="seed ids"):
+        beam_search(graph, computer, query, [-1], k=5, beam_width=10)
+
+
+def test_beam_search_runs_on_csr_graph(small_graph):
+    """The CSR view must be a drop-in traversal target with identical
+    answers and identical distance accounting."""
+    from repro.core.graph import CSRGraph
+
+    computer, graph = small_graph
+    csr = CSRGraph.from_graph(graph)
+    query = computer.data[7] + 0.01
+    a = beam_search(graph, computer, query, [0, 5], k=5, beam_width=20)
+    b = beam_search(csr, computer, query, [0, 5], k=5, beam_width=20)
+    assert a.ids.tolist() == b.ids.tolist()
+    assert a.distance_calls == b.distance_calls
+    assert a.hops == b.hops

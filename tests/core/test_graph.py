@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.graph import Graph
+from repro.core.graph import CSRGraph, Graph
 
 
 def test_rejects_negative_n():
@@ -111,3 +111,66 @@ def test_memory_bytes_grows_with_edges():
     before = g.memory_bytes()
     g.set_neighbors(0, list(range(1, 10)))
     assert g.memory_bytes() > before
+
+
+# ----------------------------------------------------------------------
+# CSR round trips and guards
+# ----------------------------------------------------------------------
+
+
+def test_from_csr_roundtrip():
+    g = Graph.from_neighbor_lists([[1, 2], [2], [], [0]])
+    indptr, indices = g.to_csr()
+    rebuilt = Graph.from_csr(indptr, indices)
+    assert rebuilt.n == g.n
+    for node in range(g.n):
+        assert rebuilt.neighbors(node).tolist() == g.neighbors(node).tolist()
+
+
+def test_from_csr_validates():
+    with pytest.raises(ValueError):
+        Graph.from_csr(np.asarray([0, 2, 1]), np.asarray([0, 1], dtype=np.int32))
+    with pytest.raises(ValueError):
+        Graph.from_csr(np.asarray([0, 1, 2]), np.asarray([0, 9], dtype=np.int32))
+
+
+def test_to_csr_rejects_int32_node_overflow():
+    """Regression: node ids beyond int32 silently wrapped in the CSR arrays."""
+    g = Graph(3)
+    g.n = 2**31 + 1  # simulate a graph with more ids than int32 can address
+    with pytest.raises(ValueError, match="int32"):
+        g.to_csr()
+
+
+def test_to_csr_rejects_int32_edge_overflow(monkeypatch):
+    g = Graph(3)
+    monkeypatch.setattr(
+        Graph, "degrees", lambda self: np.asarray([2**30, 2**30, 2**30])
+    )
+    with pytest.raises(ValueError, match="int32"):
+        g.to_csr()
+
+
+def test_csr_graph_matches_adjacency_graph():
+    g = Graph.from_neighbor_lists([[1, 3], [2], [0, 1], []])
+    csr = CSRGraph.from_graph(g)
+    assert csr.n == g.n
+    assert csr.num_edges() == g.num_edges()
+    assert csr.degrees().tolist() == g.degrees().tolist()
+    for node in range(g.n):
+        assert csr.neighbors(node).tolist() == g.neighbors(node).tolist()
+        assert csr.degree(node) == g.degree(node)
+    back = csr.to_graph()
+    for node in range(g.n):
+        assert back.neighbors(node).tolist() == g.neighbors(node).tolist()
+
+
+def test_csr_graph_validates_on_construction():
+    with pytest.raises(ValueError):
+        CSRGraph(np.asarray([0, 5]), np.asarray([0], dtype=np.int32))
+
+
+def test_csr_graph_memory_bytes():
+    g = Graph.from_neighbor_lists([[1], [0]])
+    csr = CSRGraph.from_graph(g)
+    assert csr.memory_bytes() == csr.indptr.nbytes + csr.indices.nbytes

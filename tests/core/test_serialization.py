@@ -47,3 +47,60 @@ def test_corrupt_indptr(tmp_path):
     np.savez(path, **data)
     with pytest.raises(ValueError):
         load_graph(path)
+
+
+def _tamper(path, **overrides):
+    """Rewrite the saved payload with some arrays replaced."""
+    data = dict(np.load(path))
+    data.update(overrides)
+    np.savez(path, **data)
+
+
+def test_non_monotone_indptr_rejected(tmp_path):
+    """Regression: a bit-flipped indptr used to be accepted silently."""
+    graph = Graph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    path = save_graph(graph, tmp_path / "g")
+    _tamper(path, indptr=np.asarray([0, 2, 1, 2], dtype=np.int64))
+    with pytest.raises(ValueError, match="monotonically"):
+        load_graph(path)
+
+
+def test_out_of_range_indices_rejected(tmp_path):
+    """Regression: neighbor ids >= n used to crash later, at search time."""
+    graph = Graph(3)
+    graph.add_edge(0, 1)
+    path = save_graph(graph, tmp_path / "g")
+    _tamper(path, indices=np.asarray([7], dtype=np.int32))
+    with pytest.raises(ValueError, match=r"\[0, 3\)"):
+        load_graph(path)
+
+
+def test_negative_indices_rejected(tmp_path):
+    graph = Graph(3)
+    graph.add_edge(0, 1)
+    path = save_graph(graph, tmp_path / "g")
+    _tamper(path, indices=np.asarray([-1], dtype=np.int32))
+    with pytest.raises(ValueError):
+        load_graph(path)
+
+
+def test_indptr_indices_length_mismatch_rejected(tmp_path):
+    graph = Graph(3)
+    graph.add_edge(0, 1)
+    path = save_graph(graph, tmp_path / "g")
+    _tamper(path, indices=np.asarray([1, 2, 0], dtype=np.int32))
+    with pytest.raises(ValueError, match="indices"):
+        load_graph(path)
+
+
+def test_vectorized_load_matches_original_adjacency(tmp_path):
+    """The np.split-based rebuild must reproduce every neighbor list."""
+    rng = np.random.default_rng(5)
+    graph = Graph(40)
+    for node in range(40):
+        graph.set_neighbors(node, rng.choice(40, size=6, replace=False))
+    loaded = load_graph(save_graph(graph, tmp_path / "g"))
+    for node in range(40):
+        assert loaded.neighbors(node).tolist() == graph.neighbors(node).tolist()

@@ -1,0 +1,142 @@
+"""Tests for the parallel batch-query engine and its determinism guarantee."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate
+from repro.eval.metrics import ground_truth
+from repro.eval.parallel import BatchResult, QueryOutcome, SharedArrayPack, run_batch
+from repro.eval.runner import run_workload
+from repro.indexes import RandomGraphIndex, create_index
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = generate("deep", 400, seed=0)
+    queries = generate("deep", 10, seed=9)
+    truth, _ = ground_truth(data, queries, 10)
+    return data, queries, truth
+
+
+@pytest.fixture(scope="module")
+def hnsw(workload):
+    data, _, _ = workload
+    return create_index("HNSW", seed=1).build(data)
+
+
+@pytest.fixture(scope="module")
+def random_graph(workload):
+    """An index whose seed selection consumes the per-query RNG."""
+    data, _, _ = workload
+    return RandomGraphIndex(seed=3).build(data)
+
+
+# ----------------------------------------------------------------------
+# the determinism guarantee
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("index_fixture", ["hnsw", "random_graph"])
+@pytest.mark.parametrize("n_workers", [2, 4])
+def test_parallel_matches_sequential_exactly(
+    request, workload, index_fixture, n_workers
+):
+    """Sequential and sharded runs must agree on ids, recall, and the
+    aggregate distance-calculation count for a fixed seed."""
+    _, queries, truth = workload
+    index = request.getfixturevalue(index_fixture)
+    sequential = run_workload(index, queries, truth, k=10, beam_width=40, n_workers=1)
+    parallel = run_workload(
+        index, queries, truth, k=10, beam_width=40, n_workers=n_workers
+    )
+    assert parallel.recall == sequential.recall
+    assert parallel.total_distance_calls == sequential.total_distance_calls
+    assert parallel.mean_hops == sequential.mean_hops
+    assert parallel.n_workers == n_workers
+
+    seq_batch = run_batch(index, queries, k=10, beam_width=40, n_workers=1)
+    par_batch = run_batch(index, queries, k=10, beam_width=40, n_workers=n_workers)
+    for a, b in zip(seq_batch.outcomes, par_batch.outcomes):
+        assert a.query_index == b.query_index
+        assert np.array_equal(a.ids, b.ids)
+        assert np.allclose(a.dists, b.dists)
+        assert a.distance_calls == b.distance_calls
+
+
+def test_sequential_rerun_is_reproducible(workload, random_graph):
+    """Per-query RNG derivation makes repeated runs identical, even for
+    indexes that draw random seeds per query."""
+    _, queries, truth = workload
+    first = run_workload(random_graph, queries, truth, k=10, beam_width=40)
+    second = run_workload(random_graph, queries, truth, k=10, beam_width=40)
+    assert first.recall == second.recall
+    assert first.total_distance_calls == second.total_distance_calls
+
+
+def test_batch_outcomes_are_ordered(workload, hnsw):
+    _, queries, _ = workload
+    batch = run_batch(hnsw, queries, k=10, beam_width=40, n_workers=3)
+    assert [o.query_index for o in batch.outcomes] == list(range(len(queries)))
+    assert batch.qps > 0
+    assert batch.total_distance_calls == sum(
+        o.distance_calls for o in batch.outcomes
+    )
+
+
+def test_run_batch_rejects_bad_worker_count(workload, hnsw):
+    _, queries, _ = workload
+    with pytest.raises(ValueError, match="n_workers"):
+        run_batch(hnsw, queries, k=10, beam_width=40, n_workers=0)
+
+
+# ----------------------------------------------------------------------
+# worker-state plumbing
+# ----------------------------------------------------------------------
+def test_pickle_strips_heavy_state(hnsw):
+    clone = pickle.loads(pickle.dumps(hnsw))
+    assert clone.computer is None
+    assert clone.graph is None
+    # the original is untouched
+    assert hnsw.computer is not None
+    assert hnsw.graph is not None
+
+
+def test_attach_shared_query_state_round_trip(workload, hnsw):
+    """Pickle + shared-state reattachment reproduces identical searches."""
+    _, queries, _ = workload
+    arrays = hnsw.shared_query_state()
+    clone = pickle.loads(pickle.dumps(hnsw))
+    clone.attach_shared_query_state(arrays)
+    for i, query in enumerate(queries[:3]):
+        hnsw.seed_query_rng(i)
+        expected = hnsw.search(query, k=10, beam_width=40)
+        clone.seed_query_rng(i)
+        got = clone.search(query, k=10, beam_width=40)
+        assert np.array_equal(expected.ids, got.ids)
+        assert expected.distance_calls == got.distance_calls
+
+
+def test_shared_array_pack_round_trip():
+    arrays = {
+        "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "b": np.asarray([1, 2, 3], dtype=np.int32),
+    }
+    pack = SharedArrayPack(arrays)
+    try:
+        views, segments = SharedArrayPack.attach(pack.specs)
+        assert np.array_equal(views["a"], arrays["a"])
+        assert np.array_equal(views["b"], arrays["b"])
+        assert views["a"].dtype == np.float64
+        for segment in segments:
+            segment.close()
+    finally:
+        pack.unlink()
+
+
+def test_seed_query_rng_depends_only_on_query_index(random_graph):
+    random_graph.seed_query_rng(5)
+    first = random_graph._query_rng.integers(1 << 30, size=4)
+    random_graph.seed_query_rng(7)  # interleave another query
+    random_graph.seed_query_rng(5)
+    second = random_graph._query_rng.integers(1 << 30, size=4)
+    assert np.array_equal(first, second)

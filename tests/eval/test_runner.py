@@ -52,8 +52,16 @@ def test_sweep_recall_monotone_enough(setup):
 
 def test_sweep_skips_widths_below_k(setup):
     _, queries, truth, index = setup
-    curve = sweep_beam_widths(index, queries, truth, k=10, beam_widths=(5, 20))
+    with pytest.warns(UserWarning, match=r"dropping beam widths \[5\]"):
+        curve = sweep_beam_widths(index, queries, truth, k=10, beam_widths=(5, 20))
     assert len(curve) == 1
+
+
+def test_sweep_raises_when_all_widths_below_k(setup):
+    """Regression: an all-dropped sweep used to come back empty with no hint."""
+    _, queries, truth, index = setup
+    with pytest.raises(ValueError, match="would be empty"):
+        sweep_beam_widths(index, queries, truth, k=10, beam_widths=(3, 5))
 
 
 def _curve():
@@ -80,3 +88,55 @@ def test_calls_at_recall_unreachable():
 def test_beam_width_for_recall():
     assert beam_width_for_recall(_curve(), 0.9) == 40
     assert beam_width_for_recall(_curve(), 0.99) is None
+
+
+def test_run_workload_rejects_mismatched_lengths(setup):
+    """Regression: zip() used to silently truncate the longer of the two."""
+    _, queries, truth, index = setup
+    with pytest.raises(ValueError, match="5 queries vs 3"):
+        run_workload(index, queries, truth[:3], k=10, beam_width=40)
+
+
+def test_run_workload_reports_latency_stats(setup):
+    _, queries, truth, index = setup
+    m = run_workload(index, queries, truth, k=10, beam_width=40)
+    assert m.total_distance_calls > 0
+    assert m.qps > 0
+    assert m.wall_time_s > 0
+    assert m.p50_time_s <= m.p95_time_s <= m.p99_time_s
+    assert m.n_workers == 1
+
+
+class _ExplodingIndex:
+    """Stand-in whose build always fails."""
+
+    name = "exploding"
+
+    def build(self, data):
+        raise RuntimeError("boom")
+
+
+def test_build_with_tracking_stops_tracemalloc_on_failure():
+    """Regression: a failing build used to leak tracemalloc tracing."""
+    import tracemalloc
+
+    assert not tracemalloc.is_tracing()
+    with pytest.raises(RuntimeError, match="boom"):
+        build_with_tracking(_ExplodingIndex(), np.zeros((4, 2), dtype=np.float32))
+    assert not tracemalloc.is_tracing()
+
+
+def test_build_with_tracking_tolerates_active_tracemalloc():
+    """Regression: nested tracemalloc.start() used to raise RuntimeError."""
+    import tracemalloc
+
+    from repro.indexes import create_index
+
+    data = generate("deep", 150, seed=0)
+    tracemalloc.start()
+    try:
+        measurement = build_with_tracking(create_index("NSW", seed=0), data)
+        assert measurement.peak_heap_bytes > 0
+        assert tracemalloc.is_tracing()  # outer tracing left untouched
+    finally:
+        tracemalloc.stop()

@@ -54,3 +54,29 @@ def test_parser_builds():
     parser = build_parser()
     args = parser.parse_args(["demo", "--n", "123"])
     assert args.n == 123
+
+
+def test_demo_stats_flag(capsys):
+    code = main(
+        ["demo", "--method", "NSW", "--n", "250", "--queries", "4", "--stats"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "p95 latency" in out
+    assert "throughput (QPS)" in out
+
+
+def test_demo_workers_flag(capsys):
+    code = main(
+        ["demo", "--method", "NSW", "--n", "250", "--queries", "4",
+         "--workers", "2", "--stats"]
+    )
+    assert code == 0
+    assert "workers" in capsys.readouterr().out
+
+
+def test_parser_accepts_workers():
+    parser = build_parser()
+    args = parser.parse_args(["demo", "--workers", "4", "--stats"])
+    assert args.workers == 4
+    assert args.stats is True
