@@ -1,0 +1,125 @@
+"""Worker-count and round-size scaling of the batched II builder.
+
+Not a paper figure: this benchmark characterizes the construction-side twin
+of the batch-query engine.  A 20k-point synthetic dataset is built with the
+ParlayANN-style prefix-doubling builder at worker counts 1, 2, and 4, and
+the builder's guarantee is asserted unconditionally: the graph's edges and
+the aggregate distance-calculation count are bit-identical at every worker
+count.  The throughput expectation (>1.5x build throughput at 4 workers) is
+asserted only when the machine actually has 4+ cores to scale onto; on
+smaller runners the table is still recorded.
+
+A second table sweeps ``max_round_size``: smaller rounds search a fresher
+prefix graph (more synchronization, better candidates), larger rounds
+parallelize more coarsely — the knob trades build quality against speed.
+
+Environment knobs: ``REPRO_SCALE`` multiplies the 20k point count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.distances import DistanceComputer
+from repro.core.incremental import build_ii_graph
+from repro.datasets.synthetic import generate
+from repro.eval.reporting import Report
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+N_POINTS = max(int(20_000 * SCALE), 64)
+MAX_DEGREE = 12
+WIDTH = 32
+WORKER_COUNTS = (1, 2, 4)
+ROUND_CAPS = (256, 1024, None)
+
+
+def _build(data, workers, max_round_size=None):
+    computer = DistanceComputer(data)
+    start = time.perf_counter()
+    result = build_ii_graph(
+        computer,
+        max_degree=MAX_DEGREE,
+        beam_width=WIDTH,
+        diversify="rnd",
+        rng=np.random.default_rng(11),
+        track_pruning=False,
+        n_workers=workers,
+        max_round_size=max_round_size,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _edge_fingerprint(graph):
+    """Order-sensitive digest of every adjacency list."""
+    parts = [graph.neighbors(node) for node in range(graph.n)]
+    flat = np.concatenate([p for p in parts if p.size] or [np.empty(0, np.int64)])
+    degrees = graph.degrees()
+    return hash((flat.tobytes(), degrees.tobytes()))
+
+
+def test_parallel_build_scaling():
+    data = generate("deep", N_POINTS, seed=7)
+
+    builds = {workers: _build(data, workers) for workers in WORKER_COUNTS}
+    base_result, base_elapsed = builds[1]
+
+    report = Report("parallel_build")
+    report.add_table(
+        ["workers", "build s", "points/s", "speedup", "dist calls", "edges"],
+        [
+            [
+                workers,
+                round(elapsed, 2),
+                round(N_POINTS / elapsed, 1),
+                round(base_elapsed / elapsed, 2),
+                result.distance_calls,
+                result.graph.num_edges(),
+            ]
+            for workers, (result, elapsed) in builds.items()
+        ],
+        title=f"Batched build scaling, n={N_POINTS}, R={MAX_DEGREE}, "
+        f"L={WIDTH} ({os.cpu_count()} cores)",
+    )
+
+    sweep_workers = min(4, os.cpu_count() or 1)
+    cap_rows = []
+    for cap in ROUND_CAPS:
+        result, elapsed = _build(data, sweep_workers, max_round_size=cap)
+        cap_rows.append(
+            [
+                cap if cap is not None else "uncapped",
+                round(elapsed, 2),
+                round(N_POINTS / elapsed, 1),
+                result.distance_calls,
+                result.graph.num_edges(),
+            ]
+        )
+    report.add_table(
+        ["round cap", "build s", "points/s", "dist calls", "edges"],
+        cap_rows,
+        title=f"Round-size sweep at {sweep_workers} workers",
+    )
+    report.save()
+
+    # the determinism guarantee holds on any machine
+    base_fingerprint = _edge_fingerprint(base_result.graph)
+    for workers, (result, _) in builds.items():
+        assert result.distance_calls == base_result.distance_calls, (
+            f"{workers}-worker build performed {result.distance_calls} "
+            f"distance calls, sequential round loop {base_result.distance_calls}"
+        )
+        assert _edge_fingerprint(result.graph) == base_fingerprint, (
+            f"{workers}-worker build produced different edges"
+        )
+
+    # the throughput claim needs cores to scale onto
+    if (os.cpu_count() or 1) >= 4:
+        _, elapsed_4 = builds[4]
+        assert base_elapsed > 1.5 * elapsed_4, (
+            f"4-worker build took {elapsed_4:.1f}s, not >1.5x faster than "
+            f"the sequential round loop's {base_elapsed:.1f}s"
+        )

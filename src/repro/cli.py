@@ -62,6 +62,18 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _supports_build_workers(method: str) -> bool:
+    """Whether a method's constructor accepts ``n_workers`` (II-based builds)."""
+    import inspect
+
+    from .indexes import METHOD_REGISTRY
+
+    try:
+        return "n_workers" in inspect.signature(METHOD_REGISTRY[method]).parameters
+    except (TypeError, ValueError):
+        return False
+
+
 def _cmd_demo(args) -> int:
     from .datasets.synthetic import generate
     from .eval.metrics import ground_truth
@@ -71,7 +83,16 @@ def _cmd_demo(args) -> int:
     data = generate(args.dataset, args.n, seed=args.seed)
     queries = generate(args.dataset, args.queries, seed=args.seed + 1)
     truth, _ = ground_truth(data, queries, args.k)
-    index = create_index(args.method, seed=args.seed).build(data)
+    index_params = {"seed": args.seed}
+    if args.workers > 1:
+        if _supports_build_workers(args.method):
+            index_params["n_workers"] = args.workers
+        else:
+            print(
+                f"note: {args.method} has no parallel builder; "
+                "constructing sequentially"
+            )
+    index = create_index(args.method, **index_params).build(data)
     print(
         f"built {index.name} on {args.dataset} (n={args.n}): "
         f"{index.build_report.wall_time_s:.1f}s, "
@@ -139,8 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for the query batch (1 = the paper's "
-        "sequential protocol; results are identical either way)",
+        help="worker processes for the query batch AND, for II-based methods "
+        "(NSW/HNSW/LSHAPG), the batched graph build (1 = the paper's "
+        "strictly sequential protocol; query results are identical at any "
+        "count, and the batched build is identical at any count > 1)",
     )
     demo.add_argument(
         "--stats",

@@ -1,0 +1,330 @@
+"""Deterministic parallel batch construction of the II graph (ParlayANN-style).
+
+The sequential II apparatus (:func:`~repro.core.incremental.build_ii_graph`)
+inserts one node at a time: each insertion's beam search sees every edge the
+previous insertion created.  That data dependence is what serializes
+construction.  This module breaks it the way ParlayANN does — with
+**prefix-doubling rounds**:
+
+* the insertion order is fixed up front and split into rounds of doubling
+  size (1, 1, 2, 4, 8, ... — round ``r`` inserts as many nodes as the prefix
+  already holds, optionally capped by ``max_round_size``);
+* within a round, every node's candidate beam search runs against the
+  *frozen* graph over the preceding prefix, so the searches share no state
+  and are embarrassingly parallel across a worker pool;
+* the round's edges — forward lists from each node's diversified candidates,
+  plus reverse edges with overflow re-pruning — are then merged in a single
+  sequential pass ordered by insertion rank.
+
+Three mechanisms make the result **bit-identical at any worker count**
+(including ``n_workers=1``, which runs the same round loop in-process):
+
+* all per-node randomness (seed sampling, SN level draws) comes from a
+  generator derived only from ``(base_seed, insertion_rank)``, never from
+  which worker ran the node or how many nodes it saw before;
+* each worker attaches zero-copy to the parent's dataset
+  (:meth:`DistanceComputer.from_shared`) and to a CSR snapshot of the round's
+  frozen graph, whose neighbor lists are byte-for-byte the adjacency lists
+  the in-process path reads — so a node's search is the same computation
+  wherever it runs;
+* workers report distance work as per-node counter *deltas*, which the
+  parent folds back into its own counter; integer sums are order-independent,
+  so the aggregate count matches the in-process run exactly.
+
+The batched build is **not** the paper's protocol: a round's searches cannot
+see edges created earlier in the same round, so the graph differs from the
+strictly sequential one (ParlayANN reports — and our benchmarks confirm —
+the quality difference is negligible).  Figures that assert the paper's
+exact sequential accounting (e.g. Table 2) must keep ``n_workers=None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .beam_search import batch_point_beam_search
+from .distances import DistanceComputer
+from .diversification import Diversifier, PruneCounter, get_diversifier
+from .graph import CSRGraph, Graph
+from .shared import SharedArrayPack
+
+__all__ = ["plan_rounds", "build_ii_graph_batched"]
+
+
+def plan_rounds(
+    n: int, max_round_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Prefix-doubling round boundaries over insertion ranks ``[1, n)``.
+
+    Rank 0 is inserted alone (there is no graph to search yet); each
+    subsequent round inserts as many nodes as are already inserted, so the
+    prefix doubles per round and the build finishes in ``O(log n)`` rounds.
+    ``max_round_size`` caps the batch (smaller rounds see a fresher graph at
+    the cost of more synchronization points).
+
+    Returns ``(start, stop)`` rank pairs.
+    """
+    if max_round_size is not None and max_round_size < 1:
+        raise ValueError("max_round_size must be >= 1")
+    rounds: list[tuple[int, int]] = []
+    start = 1
+    while start < n:
+        size = start
+        if max_round_size is not None:
+            size = min(size, max_round_size)
+        stop = min(start + size, n)
+        rounds.append((start, stop))
+        start = stop
+    return rounds
+
+
+# ----------------------------------------------------------------------
+# worker process state and entry points
+# ----------------------------------------------------------------------
+_BUILD_WORKER: dict = {}
+
+
+def _build_worker_init(data_specs: dict) -> None:
+    """Pool initializer: attach the dataset once per worker process."""
+    arrays, segments = SharedArrayPack.attach(data_specs)
+    computer = DistanceComputer.from_shared(
+        arrays["data"], arrays["data64"], arrays["sq_norms"]
+    )
+    _BUILD_WORKER.update(computer=computer, segments=segments)
+
+
+def _build_worker_search_chunk(payload: tuple) -> list[tuple]:
+    """Run one chunk of a round's candidate searches on the frozen graph.
+
+    The CSR snapshot arrives as shared-memory specs (one pack per round,
+    shared by every chunk); the chunk itself is ``(points, seeds_per_point)``
+    plus the round's ``k``/``beam_width``.  Returns per-node
+    ``(ids, dists, distance_call_delta)`` tuples in chunk order.
+    """
+    csr_specs, points, seeds_per_point, k, beam_width = payload
+    arrays, segments = SharedArrayPack.attach(csr_specs)
+    try:
+        frozen = CSRGraph(arrays["indptr"], arrays["indices"], validate=False)
+        computer = _BUILD_WORKER["computer"]
+        results = batch_point_beam_search(
+            frozen, computer, points, seeds_per_point, k, beam_width
+        )
+        return [(r.ids, r.dists, r.distance_calls) for r in results]
+    finally:
+        for segment in segments:
+            segment.close()
+
+
+def build_ii_graph_batched(
+    computer: DistanceComputer,
+    max_degree: int = 24,
+    beam_width: int = 128,
+    diversify: str | Diversifier = "rnd",
+    rng: np.random.Generator | None = None,
+    build_seeds=None,
+    insertion_order: np.ndarray | None = None,
+    diversify_params: dict | None = None,
+    track_pruning: bool = True,
+    prune_overflow: bool = True,
+    n_workers: int = 1,
+    max_round_size: int | None = None,
+    min_parallel_round: int = 32,
+):
+    """Build the II graph in prefix-doubling rounds, optionally in parallel.
+
+    Parameters mirror :func:`~repro.core.incremental.build_ii_graph`; the
+    additions are:
+
+    n_workers:
+        Worker processes for the per-round candidate searches.  ``1`` runs
+        the identical round loop in-process (no pool, no shared memory).
+        The constructed graph and the aggregate distance-call count are
+        bit-identical for every value.
+    max_round_size:
+        Cap on nodes per round (default: uncapped prefix doubling).
+    min_parallel_round:
+        Rounds smaller than this run in-process even when a pool is
+        available — fan-out overhead dominates tiny rounds, and the result
+        is identical either way.
+
+    Returns an :class:`~repro.core.incremental.IIBuildResult`.
+    """
+    from .incremental import IIBuildResult, RandomBuildSeeds, _prune_with_stats
+
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = computer.n
+    graph = Graph(n)
+    prune_stats = PruneCounter()
+    params = diversify_params or {}
+    if isinstance(diversify, str):
+        diversifier = get_diversifier(diversify, **params)
+        bare = get_diversifier(diversify)
+    else:
+        diversifier = diversify
+        bare = None
+    if build_seeds is None:
+        build_seeds = RandomBuildSeeds()
+    mark = computer.checkpoint()
+    if insertion_order is None:
+        insertion_order = rng.permutation(n)
+    insertion_order = np.asarray(insertion_order, dtype=np.int64)
+    # one base seed drawn from the caller's stream: every per-node generator
+    # derives from (base_seed, rank), so randomness is a pure function of the
+    # insertion rank — the first determinism mechanism
+    base_seed = int(rng.integers(np.iinfo(np.int64).max))
+    result = IIBuildResult(
+        graph=graph,
+        distance_calls=0,
+        prune_stats=prune_stats,
+        seed_provider=build_seeds,
+    )
+    if n == 0:
+        return result
+
+    inserted: list[int] = [int(insertion_order[0])]
+    build_seeds.on_insert(
+        inserted[0], computer, np.random.default_rng((base_seed, 0))
+    )
+    scratch = np.zeros(n, dtype=bool)
+    pool = None
+    data_pack = None
+    try:
+        for start, stop in plan_rounds(n, max_round_size):
+            nodes = [int(insertion_order[rank]) for rank in range(start, stop)]
+            rngs = [
+                np.random.default_rng((base_seed, rank))
+                for rank in range(start, stop)
+            ]
+            # seed selection reads the frozen prefix state (graph, SN stack),
+            # so it runs in the parent before any of the round's merges
+            seeds_per_node = [
+                build_seeds.seeds_for(node, inserted, computer, node_rng)
+                for node, node_rng in zip(nodes, rngs)
+            ]
+            prefix = start
+            width = min(beam_width, max(8, prefix))
+            k = min(width, prefix)
+
+            if n_workers > 1 and len(nodes) >= min_parallel_round:
+                if pool is None:
+                    pool, data_pack = _start_pool(computer, n_workers)
+                searches = _run_round_in_pool(
+                    pool, graph, computer, nodes, seeds_per_node, k, width,
+                    n_workers,
+                )
+            else:
+                searches = [
+                    (r.ids, r.dists)
+                    for r in batch_point_beam_search(
+                        graph, computer, nodes, seeds_per_node, k, width,
+                        visited_mask=scratch,
+                    )
+                ]
+
+            # deterministic merge: one sequential pass in insertion-rank order
+            for node, node_rng, (cand_ids, cand_dists) in zip(
+                nodes, rngs, searches
+            ):
+                kept = diversifier(computer, cand_ids, cand_dists, max_degree)
+                graph.set_neighbors(node, kept)
+                for nbr in kept:
+                    nbr = int(nbr)
+                    merged = np.concatenate([graph.neighbors(nbr), [node]])
+                    if prune_overflow and merged.size > max_degree:
+                        dists_nbr = computer.one_to_many(nbr, merged)
+                        if track_pruning:
+                            merged = _prune_with_stats(
+                                diversifier, bare, params, computer, merged,
+                                dists_nbr, max_degree, prune_stats,
+                            )
+                        else:
+                            merged = diversifier(
+                                computer, merged, dists_nbr, max_degree
+                            )
+                    graph.set_neighbors(nbr, merged)
+                inserted.append(node)
+                build_seeds.on_insert(node, computer, node_rng)
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+        if data_pack is not None:
+            data_pack.unlink()
+    result.distance_calls = computer.since(mark)
+    return result
+
+
+def _start_pool(computer: DistanceComputer, n_workers: int):
+    """Share the dataset once and start the build worker pool."""
+    from multiprocessing import get_context
+
+    data_pack = SharedArrayPack(
+        {
+            "data": computer.data,
+            "data64": computer._data64,
+            "sq_norms": computer._sq_norms,
+        }
+    )
+    try:
+        try:
+            # fork shares the parent's modules; platforms without it spawn
+            context = get_context("fork")
+        except ValueError:
+            context = get_context("spawn")
+        pool = context.Pool(
+            processes=n_workers,
+            initializer=_build_worker_init,
+            initargs=(data_pack.specs,),
+        )
+    except BaseException:
+        data_pack.unlink()
+        raise
+    return pool, data_pack
+
+
+def _run_round_in_pool(
+    pool,
+    graph: Graph,
+    computer: DistanceComputer,
+    nodes: list[int],
+    seeds_per_node: list,
+    k: int,
+    width: int,
+    n_workers: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Fan one round's searches over the pool against a frozen CSR snapshot.
+
+    Folds the workers' distance-call deltas into the parent counter and
+    returns ``(cand_ids, cand_dists)`` per node, in insertion-rank order.
+    """
+    indptr, indices = graph.to_csr()
+    csr_pack = SharedArrayPack({"indptr": indptr, "indices": indices})
+    try:
+        bounds = np.array_split(
+            np.arange(len(nodes)), min(len(nodes), n_workers * 4)
+        )
+        payloads = [
+            (
+                csr_pack.specs,
+                [nodes[i] for i in chunk],
+                [seeds_per_node[i] for i in chunk],
+                k,
+                width,
+            )
+            for chunk in bounds
+            if chunk.size
+        ]
+        chunk_results = pool.map(_build_worker_search_chunk, payloads)
+    finally:
+        csr_pack.unlink()
+    searches: list[tuple[np.ndarray, np.ndarray]] = []
+    delta_total = 0
+    for chunk in chunk_results:
+        for cand_ids, cand_dists, delta in chunk:
+            searches.append((cand_ids, cand_dists))
+            delta_total += delta
+    computer.count += delta_total
+    return searches

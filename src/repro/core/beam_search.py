@@ -18,7 +18,12 @@ from .distances import DistanceComputer
 from .graph import Graph
 from .heap import NeighborQueue
 
-__all__ = ["SearchResult", "beam_search", "greedy_search"]
+__all__ = [
+    "SearchResult",
+    "beam_search",
+    "batch_point_beam_search",
+    "greedy_search",
+]
 
 
 @dataclass
@@ -127,8 +132,7 @@ def beam_search(
                 bound = queue.worst_dist()
                 for dist, nbr in zip(dists.tolist(), fresh.tolist()):
                     if dist < bound:
-                        queue.insert(dist, nbr)
-                        bound = queue.worst_dist()
+                        bound = queue.insert(dist, nbr)
 
     ids, dists = queue.top_k(k)
     visited = (
@@ -147,6 +151,77 @@ def beam_search(
     )
 
 
+def batch_point_beam_search(
+    graph,
+    computer: DistanceComputer,
+    points,
+    seeds_per_point,
+    k: int,
+    beam_width: int,
+    visited_mask: np.ndarray | None = None,
+) -> list[SearchResult]:
+    """Beam searches for a chunk of *dataset points*, sharing scratch state.
+
+    The batched builder's kernel: every query is a dataset point given by id
+    (``points``), so all point-to-frontier distances go through
+    :meth:`DistanceComputer.one_to_many`, whose cached squared norms cover
+    *both* sides — there is no per-query (let alone per-hop) query
+    preparation.  One visited mask is allocated for the whole chunk, so a
+    worker amortizes setup across every node it processes.
+
+    ``graph`` may be a :class:`~repro.core.graph.Graph` or a
+    :class:`~repro.core.graph.CSRGraph` — given identical edges in identical
+    order, the traversal (and its distance accounting) is bit-identical,
+    which is what lets the parallel builder mix in-process and worker-side
+    execution freely.
+
+    Returns one :class:`SearchResult` per point (``visited`` lists are not
+    collected; builders that need them use :func:`beam_search`).
+    """
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    if visited_mask is None or visited_mask.size != graph.n:
+        visited_mask = np.zeros(graph.n, dtype=bool)
+    results: list[SearchResult] = []
+    for point, seeds in zip(points, seeds_per_point):
+        mark = computer.checkpoint()
+        visited_mask[:] = False
+        seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
+        if seeds.size == 0:
+            raise ValueError("at least one seed is required")
+        queue = NeighborQueue(beam_width)
+        seed_dists = computer.one_to_many(point, seeds)
+        visited_mask[seeds] = True
+        for dist, node in zip(seed_dists.tolist(), seeds.tolist()):
+            queue.insert(dist, node)
+        hops = 0
+        while True:
+            node = queue.pop_nearest_unexpanded()
+            if node is None:
+                break
+            hops += 1
+            nbrs = graph.neighbors(node)
+            if nbrs.size:
+                fresh = nbrs[~visited_mask[nbrs]]
+                if fresh.size:
+                    visited_mask[fresh] = True
+                    dists = computer.one_to_many(point, fresh)
+                    bound = queue.worst_dist()
+                    for dist, nbr in zip(dists.tolist(), fresh.tolist()):
+                        if dist < bound:
+                            bound = queue.insert(dist, nbr)
+        ids, dists = queue.top_k(k)
+        results.append(
+            SearchResult(
+                ids=ids,
+                dists=dists,
+                distance_calls=computer.since(mark),
+                hops=hops,
+            )
+        )
+    return results
+
+
 def greedy_search(
     graph: Graph,
     computer: DistanceComputer,
@@ -162,13 +237,15 @@ def greedy_search(
     mark = computer.checkpoint()
     current = int(entry)
     current_dist = computer.one_to_query(current, query)
+    # prepare the query once; the hop loop only pays the GEMV
+    q64, q_sq = computer.prepare_query(query)
     improved = True
     while improved:
         improved = False
         nbrs = graph.neighbors(current)
         if nbrs.size == 0:
             break
-        dists = computer.to_query(nbrs, query)
+        dists = computer.to_query_prepared(nbrs, q64, q_sq)
         best = int(np.argmin(dists))
         if dists[best] < current_dist:
             current = int(nbrs[best])

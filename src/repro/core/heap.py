@@ -51,16 +51,19 @@ class NeighborQueue:
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._members
 
-    def insert(self, dist: float, node_id: int) -> bool:
+    def insert(self, dist: float, node_id: int) -> float:
         """Insert an entry, keeping the buffer sorted and bounded.
 
-        Returns ``True`` if the entry was kept (it beat the current worst or
-        the buffer had room), ``False`` if it was rejected or a duplicate.
+        Returns the queue's updated acceptance bound — the distance of the
+        worst kept entry once the buffer is full, ``inf`` before that —
+        whether or not the entry was kept.  The beam-search hot loop caches
+        this bound instead of calling :meth:`worst_dist` after every offer,
+        so rejected inserts cost no extra call.
         """
         if node_id in self._members:
-            return False
+            return self.worst_dist()
         if self.size == self.capacity and dist >= self.dists[self.size - 1]:
-            return False
+            return float(self.dists[self.size - 1])
         pos = int(self.dists[: self.size].searchsorted(dist))
         if self.size == self.capacity:
             evicted = int(self.ids[self.size - 1])
@@ -79,7 +82,9 @@ class NeighborQueue:
         self._members.add(node_id)
         if pos < self._scan_from:
             self._scan_from = pos
-        return True
+        if self.size < self.capacity:
+            return float("inf")
+        return float(self.dists[self.size - 1])
 
     def pop_nearest_unexpanded(self) -> int | None:
         """Mark and return the closest unexpanded entry's id, or ``None``."""

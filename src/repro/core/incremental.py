@@ -178,13 +178,15 @@ class StackedNSWBuildSeeds:
                 return current, current_dist
             current = next(iter(layer))
             current_dist = computer.one_to_query(current, query)
+        # prepare the query once; the hop loop only pays the GEMV
+        q64, q_sq = computer.prepare_query(query)
         improved = True
         while improved:
             improved = False
             nbrs = layer.get(current)
             if nbrs is None or nbrs.size == 0:
                 break
-            dists = computer.to_query(nbrs, query)
+            dists = computer.to_query_prepared(nbrs, q64, q_sq)
             best = int(np.argmin(dists))
             if dists[best] < current_dist:
                 current = int(nbrs[best])
@@ -205,9 +207,10 @@ class StackedNSWBuildSeeds:
                 continue
             visited.update(fresh)
             dists = computer.to_query(np.asarray(fresh), query)
-            for dist, nbr in zip(dists, fresh):
-                if dist < queue.worst_dist():
-                    queue.insert(float(dist), int(nbr))
+            bound = queue.worst_dist()
+            for dist, nbr in zip(dists.tolist(), fresh):
+                if dist < bound:
+                    bound = queue.insert(dist, nbr)
         return queue.entries()
 
     def memory_bytes(self) -> int:
@@ -229,6 +232,8 @@ def build_ii_graph(
     diversify_params: dict | None = None,
     track_pruning: bool = True,
     prune_overflow: bool = True,
+    n_workers: int | None = None,
+    max_round_size: int | None = None,
 ) -> IIBuildResult:
     """Build the baseline II graph over the computer's dataset.
 
@@ -259,7 +264,35 @@ def build_ii_graph(
         Re-prune neighbor lists that exceed ``max_degree`` after reverse-edge
         insertion.  The original NSW keeps unbounded neighbor lists (its
         early edges are the long-range links), so it disables this.
+    n_workers:
+        ``None`` (default) keeps the paper's strictly sequential protocol.
+        Any integer switches to the ParlayANN-style batched builder
+        (:func:`~repro.core.batch_build.build_ii_graph_batched`): candidate
+        searches run in prefix-doubling rounds against a frozen prefix
+        graph, across ``n_workers`` processes — the batched result is
+        bit-identical at every worker count, but it is a (negligibly)
+        different graph than the sequential protocol produces.
+    max_round_size:
+        Round-size cap for the batched builder (ignored when ``n_workers``
+        is ``None``).
     """
+    if n_workers is not None:
+        from .batch_build import build_ii_graph_batched
+
+        return build_ii_graph_batched(
+            computer,
+            max_degree=max_degree,
+            beam_width=beam_width,
+            diversify=diversify,
+            rng=rng,
+            build_seeds=build_seeds,
+            insertion_order=insertion_order,
+            diversify_params=diversify_params,
+            track_pruning=track_pruning,
+            prune_overflow=prune_overflow,
+            n_workers=n_workers,
+            max_round_size=max_round_size,
+        )
     if rng is None:
         rng = np.random.default_rng(0)
     n = computer.n

@@ -340,9 +340,10 @@ class StackedNSWSeeds(SeedStrategy):
                 continue
             visited.update(fresh)
             dists = computer.to_query(np.asarray(fresh), query)
-            for dist, nbr in zip(dists, fresh):
-                if dist < queue.worst_dist():
-                    queue.insert(float(dist), int(nbr))
+            bound = queue.worst_dist()
+            for dist, nbr in zip(dists.tolist(), fresh):
+                if dist < bound:
+                    bound = queue.insert(dist, nbr)
         return queue.entries()
 
     def select(self, query, rng):

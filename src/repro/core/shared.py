@@ -1,0 +1,73 @@
+"""Shared-memory array plumbing used by both parallel engines.
+
+The parallel batch-query engine (:mod:`repro.eval.parallel`) and the batched
+graph builder (:mod:`repro.core.batch_build`) move the same three kinds of
+payload to worker processes — the dataset copies of a
+:class:`~repro.core.distances.DistanceComputer`, CSR-flattened graphs, and
+batch inputs — and none of them should ever be pickled.
+:class:`SharedArrayPack` is the one mechanism both use: the parent copies
+each array into a ``multiprocessing.shared_memory`` segment once, workers
+attach zero-copy views by segment name.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayPack"]
+
+
+class SharedArrayPack:
+    """Copies named arrays into ``multiprocessing.shared_memory`` segments.
+
+    The parent constructs one pack per batch and passes ``specs`` (segment
+    name, shape, dtype per array) to the workers, which attach zero-copy
+    views via :meth:`attach`.  The parent must call :meth:`unlink` when the
+    batch completes.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.specs: dict[str, tuple[str, tuple, str]] = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self.specs[name] = (segment.name, array.shape, array.dtype.str)
+        except BaseException:
+            self.unlink()
+            raise
+
+    @staticmethod
+    def attach(
+        specs: dict[str, tuple[str, tuple, str]]
+    ) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
+        """Worker side: mount every segment and return array views.
+
+        The returned segment handles must stay referenced as long as the
+        arrays are in use (the views borrow their buffers).
+        """
+        arrays: dict[str, np.ndarray] = {}
+        segments: list[shared_memory.SharedMemory] = []
+        for name, (segment_name, shape, dtype) in specs.items():
+            segment = shared_memory.SharedMemory(name=segment_name)
+            segments.append(segment)
+            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        return arrays, segments
+
+    def unlink(self) -> None:
+        """Release every segment (parent side, after the batch)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+        self._segments = []

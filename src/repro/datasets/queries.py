@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .synthetic import DATASET_GENERATORS
+from .synthetic import DATASET_GENERATORS, dataset_key_seed
 
 __all__ = [
     "held_out_split",
@@ -78,5 +78,6 @@ def distribution_queries(
     key = dataset_name.lower()
     if key not in DATASET_GENERATORS:
         raise KeyError(f"unknown dataset {dataset_name!r}")
-    rng = np.random.default_rng(seed ^ (hash(key) % (2**31)))
+    # dataset_key_seed, not hash(): str hashes are salted per process
+    rng = np.random.default_rng(seed ^ dataset_key_seed(key))
     return DATASET_GENERATORS[key].generate(n_queries, rng)

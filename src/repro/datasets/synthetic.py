@@ -17,6 +17,7 @@ ones (Seismic, Text-to-Image, RandPow*) approach isotropic noise.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,7 @@ import numpy as np
 __all__ = [
     "DATASET_GENERATORS",
     "DatasetSpec",
+    "dataset_key_seed",
     "generate",
     "clustered_gaussian",
     "power_law",
@@ -184,5 +186,17 @@ def generate(name: str, n: int, seed: int = 0) -> np.ndarray:
         raise KeyError(
             f"unknown dataset {name!r}; choose from {sorted(DATASET_GENERATORS)}"
         )
-    rng = np.random.default_rng(seed ^ hash(key) % (2**31))
+    rng = np.random.default_rng(seed ^ dataset_key_seed(key))
     return DATASET_GENERATORS[key].generate(n, rng)
+
+
+def dataset_key_seed(key: str) -> int:
+    """Stable per-dataset seed offset.
+
+    ``hash(str)`` is salted by ``PYTHONHASHSEED``, so using it here made
+    every process generate *different* data for the same ``(name, seed)`` —
+    a reproducibility bug that surfaced as run-to-run flakiness in any test
+    or experiment downstream of a generated dataset.  CRC32 is stable across
+    processes, platforms, and Python versions.
+    """
+    return zlib.crc32(key.encode("utf-8")) % (2**31)

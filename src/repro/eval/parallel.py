@@ -28,10 +28,11 @@ from __future__ import annotations
 import pickle
 import time
 from dataclasses import dataclass
-from multiprocessing import get_context, shared_memory
+from multiprocessing import get_context
 
 import numpy as np
 
+from ..core.shared import SharedArrayPack
 from ..indexes.base import BaseIndex
 
 __all__ = ["QueryOutcome", "BatchResult", "SharedArrayPack", "run_batch"]
@@ -68,60 +69,6 @@ class BatchResult:
         if self.wall_time_s <= 0:
             return 0.0
         return len(self.outcomes) / self.wall_time_s
-
-
-class SharedArrayPack:
-    """Copies named arrays into ``multiprocessing.shared_memory`` segments.
-
-    The parent constructs one pack per batch and passes ``specs`` (segment
-    name, shape, dtype per array) to the workers, which attach zero-copy
-    views via :meth:`attach`.  The parent must call :meth:`unlink` when the
-    batch completes.
-    """
-
-    def __init__(self, arrays: dict[str, np.ndarray]):
-        self._segments: list[shared_memory.SharedMemory] = []
-        self.specs: dict[str, tuple[str, tuple, str]] = {}
-        try:
-            for name, array in arrays.items():
-                array = np.ascontiguousarray(array)
-                segment = shared_memory.SharedMemory(
-                    create=True, size=max(array.nbytes, 1)
-                )
-                self._segments.append(segment)
-                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-                view[...] = array
-                self.specs[name] = (segment.name, array.shape, array.dtype.str)
-        except BaseException:
-            self.unlink()
-            raise
-
-    @staticmethod
-    def attach(
-        specs: dict[str, tuple[str, tuple, str]]
-    ) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
-        """Worker side: mount every segment and return array views.
-
-        The returned segment handles must stay referenced as long as the
-        arrays are in use (the views borrow their buffers).
-        """
-        arrays: dict[str, np.ndarray] = {}
-        segments: list[shared_memory.SharedMemory] = []
-        for name, (segment_name, shape, dtype) in specs.items():
-            segment = shared_memory.SharedMemory(name=segment_name)
-            segments.append(segment)
-            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
-        return arrays, segments
-
-    def unlink(self) -> None:
-        """Release every segment (parent side, after the batch)."""
-        for segment in self._segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # already unlinked
-                pass
-        self._segments = []
 
 
 # ----------------------------------------------------------------------

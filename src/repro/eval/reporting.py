@@ -9,6 +9,7 @@ can cite them.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -52,6 +53,13 @@ def format_query_stats(measurement) -> str:
     )
 
 
+def _json_safe(value):
+    """Coerce numpy scalars to native Python types for json.dumps."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
 def _fmt(value) -> str:
     if value is None:
         return "-"
@@ -85,6 +93,7 @@ class Report:
             directory = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
         self.directory = Path(directory)
         self._chunks: list[str] = []
+        self._tables: list[dict] = []
 
     def add(self, text: str) -> None:
         """Append a block of text (also printed immediately)."""
@@ -92,12 +101,27 @@ class Report:
         print(text)
 
     def add_table(self, headers: list[str], rows: list[list], title: str = "") -> None:
-        """Append an aligned table."""
+        """Append an aligned table (kept structured for the JSON archive)."""
+        self._tables.append(
+            {
+                "title": title,
+                "headers": list(headers),
+                "rows": [[_json_safe(value) for value in row] for row in rows],
+            }
+        )
         self.add(format_table(headers, rows, title=title))
 
     def save(self) -> Path:
-        """Write the accumulated report to ``<directory>/<name>.txt``."""
+        """Write the report to ``<directory>/<name>.txt`` (and, when any
+        tables were added, their machine-readable form to ``<name>.json`` —
+        the artifact CI archives)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / f"{self.name}.txt"
         path.write_text("\n\n".join(self._chunks) + "\n")
+        if self._tables:
+            json_path = self.directory / f"{self.name}.json"
+            json_path.write_text(
+                json.dumps({"name": self.name, "tables": self._tables}, indent=2)
+                + "\n"
+            )
         return path

@@ -30,6 +30,7 @@ class HNSWIndex(BaseGraphIndex):
         layer_max_degree: int = 16,
         seed: int = 0,
         default_beam_width: int = 64,
+        n_workers: int | None = None,
     ):
         super().__init__(seed, default_beam_width)
         if max_degree < 2:
@@ -37,6 +38,7 @@ class HNSWIndex(BaseGraphIndex):
         self.max_degree = max_degree
         self.ef_construction = ef_construction
         self.layer_max_degree = layer_max_degree
+        self.n_workers = n_workers
         self._stack: StackedNSWBuildSeeds | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
@@ -52,6 +54,7 @@ class HNSWIndex(BaseGraphIndex):
             rng=rng,
             build_seeds=stack,
             track_pruning=False,
+            n_workers=self.n_workers,
         )
         self.graph = result.graph
         self._stack = stack

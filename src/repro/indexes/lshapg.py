@@ -38,6 +38,7 @@ class LSHAPGIndex(BaseGraphIndex):
         probabilistic_routing: bool = True,
         seed: int = 0,
         default_beam_width: int = 64,
+        n_workers: int | None = None,
     ):
         super().__init__(seed, default_beam_width)
         if routing_slack < 1.0:
@@ -49,6 +50,7 @@ class LSHAPGIndex(BaseGraphIndex):
         self.n_query_seeds = n_query_seeds
         self.routing_slack = routing_slack
         self.probabilistic_routing = probabilistic_routing
+        self.n_workers = n_workers
         self._forest: LSBForest | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
@@ -59,6 +61,7 @@ class LSHAPGIndex(BaseGraphIndex):
             diversify="rnd",
             rng=rng,
             track_pruning=False,
+            n_workers=self.n_workers,
         )
         self.graph = result.graph
         self._forest = LSBForest(
@@ -112,9 +115,10 @@ class LSHAPGIndex(BaseGraphIndex):
                 if fresh.size == 0:
                     continue
             dists = computer.to_query(fresh, query)
-            for dist, nbr in zip(dists, fresh):
-                if dist < queue.worst_dist():
-                    queue.insert(float(dist), int(nbr))
+            insert_bound = queue.worst_dist()
+            for dist, nbr in zip(dists.tolist(), fresh.tolist()):
+                if dist < insert_bound:
+                    insert_bound = queue.insert(dist, nbr)
         ids, dists = queue.top_k(k)
         return SearchResult(
             ids=ids,

@@ -30,6 +30,7 @@ class NSWIndex(BaseGraphIndex):
         n_query_seeds: int = 4,
         seed: int = 0,
         default_beam_width: int = 64,
+        n_workers: int | None = None,
     ):
         super().__init__(seed, default_beam_width)
         if m_connections < 1:
@@ -37,6 +38,7 @@ class NSWIndex(BaseGraphIndex):
         self.m_connections = m_connections
         self.ef_construction = ef_construction
         self.n_query_seeds = n_query_seeds
+        self.n_workers = n_workers
 
     def _build(self, rng: np.random.Generator) -> None:
         # NSW never prunes: reverse edges accumulate and early edges
@@ -49,6 +51,7 @@ class NSWIndex(BaseGraphIndex):
             rng=rng,
             track_pruning=False,
             prune_overflow=False,
+            n_workers=self.n_workers,
         )
         self.graph = result.graph
 

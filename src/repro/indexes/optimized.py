@@ -73,10 +73,9 @@ class OptimizedIndex(BaseIndex):
             visited[fresh] = True
             dists = computer.to_query(fresh, query)
             bound = queue.worst_dist()
-            for dist, nbr in zip(dists, fresh):
+            for dist, nbr in zip(dists.tolist(), fresh.tolist()):
                 if dist < bound:
-                    queue.insert(float(dist), int(nbr))
-                    bound = queue.worst_dist()
+                    bound = queue.insert(dist, nbr)
         ids, dists = queue.top_k(k)
         return SearchResult(
             ids=ids,

@@ -110,6 +110,45 @@ def test_exact_knn_k_larger_than_n(computer):
     assert ids.size == computer.n
 
 
+def test_exact_knn_chunk_size_invariant(computer):
+    """The chunked scan returns the same neighbors for any chunk size.
+
+    (Distances may differ in the last ulp across chunk sizes — BLAS GEMV
+    results depend on the block shape — so values get a tight tolerance.)
+    """
+    q = np.linspace(-1, 1, 8)
+    ref_ids, ref_dists = computer.exact_knn(q, 7)
+    for chunk_size in (1, 3, 7, 49, 50, 51, 10_000):
+        ids, dists = computer.exact_knn(q, 7, chunk_size=chunk_size)
+        assert ids.tolist() == ref_ids.tolist()
+        assert dists == pytest.approx(ref_dists, rel=1e-12)
+
+
+def test_exact_knn_counts_full_scan_with_small_chunks(computer):
+    computer.reset()
+    computer.exact_knn(np.zeros(8), 3, chunk_size=7)
+    assert computer.count == computer.n
+
+
+def test_exact_knn_breaks_ties_by_id():
+    data = np.zeros((9, 4), dtype=np.float32)  # all points identical
+    computer = DistanceComputer(data)
+    for chunk_size in (2, 100):
+        ids, _ = computer.exact_knn(np.zeros(4), 4, chunk_size=chunk_size)
+        assert ids.tolist() == [0, 1, 2, 3]
+
+
+def test_exact_knn_rejects_bad_chunk_size(computer):
+    with pytest.raises(ValueError):
+        computer.exact_knn(np.zeros(8), 3, chunk_size=0)
+
+
+def test_exact_knn_zero_k():
+    computer = DistanceComputer(np.empty((0, 4), dtype=np.float32))
+    ids, dists = computer.exact_knn(np.zeros(4), 5)
+    assert ids.size == 0 and dists.size == 0
+
+
 def test_memory_bytes_positive(computer):
     assert computer.memory_bytes() >= computer.data.nbytes
 

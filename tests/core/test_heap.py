@@ -16,7 +16,8 @@ def test_queue_rejects_bad_capacity():
 def test_insert_keeps_sorted():
     q = NeighborQueue(5)
     for d, i in [(3.0, 1), (1.0, 2), (2.0, 3)]:
-        assert q.insert(d, i)
+        # the returned acceptance bound stays inf until the buffer fills
+        assert q.insert(d, i) == float("inf")
     ids, dists = q.entries()
     assert list(dists) == [1.0, 2.0, 3.0]
     assert list(ids) == [2, 3, 1]
@@ -24,16 +25,18 @@ def test_insert_keeps_sorted():
 
 def test_insert_rejects_duplicates():
     q = NeighborQueue(5)
-    assert q.insert(1.0, 7)
-    assert not q.insert(0.5, 7)
+    q.insert(1.0, 7)
+    q.insert(0.5, 7)
+    ids, dists = q.entries()
     assert len(q) == 1
+    assert list(ids) == [7] and list(dists) == [1.0]
 
 
 def test_insert_evicts_worst_at_capacity():
     q = NeighborQueue(3)
     for d, i in [(1.0, 1), (2.0, 2), (3.0, 3)]:
         q.insert(d, i)
-    assert q.insert(1.5, 4)
+    assert q.insert(1.5, 4) == 2.0  # new bound after 3 is evicted
     ids, dists = q.entries()
     assert 3 not in ids
     assert list(dists) == [1.0, 1.5, 2.0]
@@ -43,7 +46,17 @@ def test_insert_rejects_worse_than_worst_when_full():
     q = NeighborQueue(2)
     q.insert(1.0, 1)
     q.insert(2.0, 2)
-    assert not q.insert(5.0, 3)
+    assert q.insert(5.0, 3) == 2.0  # rejected: bound unchanged
+    assert 3 not in q
+    assert len(q) == 2
+
+
+def test_insert_returns_bound_matching_worst_dist():
+    q = NeighborQueue(2)
+    assert q.insert(1.0, 1) == q.worst_dist() == float("inf")
+    assert q.insert(2.0, 2) == q.worst_dist() == 2.0
+    assert q.insert(1.5, 3) == q.worst_dist() == 1.5
+    assert q.insert(9.0, 4) == q.worst_dist() == 1.5
 
 
 def test_evicted_id_can_be_reinserted():
@@ -52,7 +65,8 @@ def test_evicted_id_can_be_reinserted():
     q.insert(2.0, 2)
     q.insert(1.5, 3)  # evicts 2
     assert 2 not in q
-    assert q.insert(0.5, 2)
+    q.insert(0.5, 2)
+    assert 2 in q
 
 
 def test_pop_nearest_unexpanded_order():
@@ -120,6 +134,86 @@ def test_property_queue_invariants(entries, capacity):
     assert np.all(np.diff(dists) >= 0)
     for d, i in zip(dists.tolist(), ids.tolist()):
         assert (d, i) in offered
+
+
+class ReferenceQueue:
+    """Executable specification of NeighborQueue: a sorted list of
+    ``[dist, id, expanded]`` rows plus a membership set, mirroring the
+    documented semantics operation for operation (ties insert before equal
+    distances, eviction drops the tail, a rejected insert does not register
+    its id, pops return the first unexpanded row)."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.rows = []
+        self.members = set()
+
+    def worst_dist(self):
+        if len(self.rows) < self.capacity:
+            return float("inf")
+        return self.rows[-1][0]
+
+    def insert(self, dist, node_id):
+        import bisect
+
+        if node_id in self.members:
+            return self.worst_dist()
+        if len(self.rows) == self.capacity and dist >= self.rows[-1][0]:
+            return self.worst_dist()
+        if len(self.rows) == self.capacity:
+            self.members.discard(self.rows.pop()[1])
+        pos = bisect.bisect_left([r[0] for r in self.rows], dist)
+        self.rows.insert(pos, [dist, node_id, False])
+        self.members.add(node_id)
+        return self.worst_dist()
+
+    def pop_nearest_unexpanded(self):
+        for row in self.rows:
+            if not row[2]:
+                row[2] = True
+                return row[1]
+        return None
+
+    def entries(self):
+        return [r[1] for r in self.rows], [r[0] for r in self.rows]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("insert"),
+                st.floats(0, 100, allow_nan=False),
+                st.integers(0, 15),  # small id range forces duplicates
+            ),
+            st.tuples(st.just("pop")),
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    capacity=st.integers(1, 8),  # small capacity forces eviction
+)
+def test_property_queue_matches_reference_model(ops, capacity):
+    """Pit NeighborQueue against the sorted-list model on random interleaved
+    insert/pop sequences: returned bounds, pop order, membership, and the
+    final entries must all agree."""
+    q = NeighborQueue(capacity)
+    model = ReferenceQueue(capacity)
+    for op in ops:
+        if op[0] == "insert":
+            _, dist, node_id = op
+            assert q.insert(dist, node_id) == model.insert(dist, node_id)
+        else:
+            assert q.pop_nearest_unexpanded() == model.pop_nearest_unexpanded()
+        assert len(q) == len(model.rows)
+        assert q.worst_dist() == model.worst_dist()
+    ids, dists = q.entries()
+    model_ids, model_dists = model.entries()
+    assert ids.tolist() == model_ids
+    assert dists.tolist() == model_dists
+    for node_id in range(16):
+        assert (node_id in q) == (node_id in model.members)
 
 
 def test_heap_rejects_bad_k():

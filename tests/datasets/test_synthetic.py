@@ -7,6 +7,7 @@ from repro.datasets.synthetic import (
     DATASET_GENERATORS,
     TIER_SIZES,
     clustered_gaussian,
+    dataset_key_seed,
     generate,
     power_law,
     tier_size,
@@ -35,6 +36,40 @@ def test_generate_seed_changes_data():
     a = generate("deep", 32, seed=5)
     b = generate("deep", 32, seed=6)
     assert not np.array_equal(a, b)
+
+
+def test_generate_stable_across_processes():
+    """Regression: the per-dataset seed offset must not depend on the
+    process's string-hash salt (PYTHONHASHSEED).  ``hash(key)`` did, which
+    made every run of the suite index different data."""
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+    script = (
+        "from repro.datasets.synthetic import generate;"
+        "print(generate('deep', 16, seed=5).sum())"
+    )
+    outputs = set()
+    for hash_seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"data varies with PYTHONHASHSEED: {outputs}"
+    assert outputs == {str(generate("deep", 16, seed=5).sum())}
+
+
+def test_dataset_key_seed_distinct_per_dataset():
+    seeds = {dataset_key_seed(name) for name in DATASET_GENERATORS}
+    assert len(seeds) == len(DATASET_GENERATORS)
 
 
 def test_clustered_gaussian_validation():
