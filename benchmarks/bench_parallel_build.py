@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.distances import DistanceComputer
 from repro.core.incremental import build_ii_graph
+from repro.core.kernels import resolve_backend
 from repro.datasets.synthetic import generate
 from repro.eval.reporting import Report
 
@@ -36,7 +37,7 @@ WORKER_COUNTS = (1, 2, 4)
 ROUND_CAPS = (256, 1024, None)
 
 
-def _build(data, workers, max_round_size=None):
+def _build(data, workers, max_round_size=None, kernel=None):
     computer = DistanceComputer(data)
     start = time.perf_counter()
     result = build_ii_graph(
@@ -48,6 +49,7 @@ def _build(data, workers, max_round_size=None):
         track_pruning=False,
         n_workers=workers,
         max_round_size=max_round_size,
+        kernel=kernel,
     )
     elapsed = time.perf_counter() - start
     return result, elapsed
@@ -68,6 +70,14 @@ def test_parallel_build_scaling():
     base_result, base_elapsed = builds[1]
 
     report = Report("parallel_build")
+    report.add_metadata(
+        n_points=N_POINTS,
+        max_degree=MAX_DEGREE,
+        beam_width=WIDTH,
+        kernel=resolve_backend(None),
+        worker_counts=list(WORKER_COUNTS),
+        cores=os.cpu_count(),
+    )
     report.add_table(
         ["workers", "build s", "points/s", "speedup", "dist calls", "edges"],
         [
@@ -115,6 +125,14 @@ def test_parallel_build_scaling():
         assert _edge_fingerprint(result.graph) == base_fingerprint, (
             f"{workers}-worker build produced different edges"
         )
+
+    # the kernel backends' round searches are bit-identical to the scalar
+    # reference, so the built graph is too
+    scalar_result, _ = _build(data, 1, kernel="scalar")
+    assert scalar_result.distance_calls == base_result.distance_calls
+    assert _edge_fingerprint(scalar_result.graph) == base_fingerprint, (
+        "scalar-kernel build produced different edges than the default kernel"
+    )
 
     # the throughput claim needs cores to scale onto
     if (os.cpu_count() or 1) >= 4:

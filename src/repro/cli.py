@@ -100,8 +100,12 @@ def _cmd_demo(args) -> int:
         f"{index.memory_bytes() // 1024} KiB"
     )
     measurement = run_workload(
-        index, queries, truth, args.k, args.beam_width, n_workers=args.workers
+        index, queries, truth, args.k, args.beam_width, n_workers=args.workers,
+        kernel=args.kernel,
     )
+    from .core.kernels import resolve_backend
+
+    print(f"beam kernel: {resolve_backend(args.kernel)}")
     print(
         f"recall@{args.k}: {measurement.recall:.3f}  "
         f"mean distance calls/query: {measurement.mean_distance_calls:.0f}  "
@@ -169,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print latency percentiles (p50/p95/p99) and throughput",
+    )
+    demo.add_argument(
+        "--kernel",
+        choices=["auto", "python", "numba", "scalar"],
+        default=None,
+        help="beam-search backend for queries (default: $REPRO_KERNEL, else "
+        "auto). All backends return bit-identical answers and distance "
+        "counts; 'scalar' is the per-query reference loop",
     )
     demo.set_defaults(func=_cmd_demo)
 

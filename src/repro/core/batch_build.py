@@ -98,21 +98,44 @@ def _build_worker_search_chunk(payload: tuple) -> list[tuple]:
 
     The CSR snapshot arrives as shared-memory specs (one pack per round,
     shared by every chunk); the chunk itself is ``(points, seeds_per_point)``
-    plus the round's ``k``/``beam_width``.  Returns per-node
-    ``(ids, dists, distance_call_delta)`` tuples in chunk order.
+    plus the round's ``k``/``beam_width`` and kernel backend.  Returns
+    per-node ``(ids, dists, distance_call_delta)`` tuples in chunk order.
     """
-    csr_specs, points, seeds_per_point, k, beam_width = payload
+    csr_specs, points, seeds_per_point, k, beam_width, kernel = payload
     arrays, segments = SharedArrayPack.attach(csr_specs)
     try:
         frozen = CSRGraph(arrays["indptr"], arrays["indices"], validate=False)
         computer = _BUILD_WORKER["computer"]
-        results = batch_point_beam_search(
-            frozen, computer, points, seeds_per_point, k, beam_width
+        results = _round_point_searches(
+            frozen, computer, points, seeds_per_point, k, beam_width, kernel
         )
         return [(r.ids, r.dists, r.distance_calls) for r in results]
     finally:
         for segment in segments:
             segment.close()
+
+
+def _round_point_searches(
+    graph, computer, points, seeds_per_point, k, beam_width, kernel,
+    visited_mask=None,
+):
+    """One round's candidate searches through the selected beam kernel.
+
+    The vectorized multi-query kernel and the scalar
+    :func:`batch_point_beam_search` reference are bit-identical per point,
+    so the constructed graph and its distance accounting do not depend on
+    the backend (or on whether a chunk ran in-process or in a worker).
+    """
+    from .kernels import batch_point_search, resolve_backend
+
+    if resolve_backend(kernel) == "scalar":
+        return batch_point_beam_search(
+            graph, computer, points, seeds_per_point, k, beam_width,
+            visited_mask=visited_mask,
+        )
+    return batch_point_search(
+        graph, computer, points, seeds_per_point, k, beam_width, backend=kernel
+    )
 
 
 def build_ii_graph_batched(
@@ -129,6 +152,7 @@ def build_ii_graph_batched(
     n_workers: int = 1,
     max_round_size: int | None = None,
     min_parallel_round: int = 32,
+    kernel: str | None = None,
 ):
     """Build the II graph in prefix-doubling rounds, optionally in parallel.
 
@@ -146,6 +170,11 @@ def build_ii_graph_batched(
         Rounds smaller than this run in-process even when a pool is
         available — fan-out overhead dominates tiny rounds, and the result
         is identical either way.
+    kernel:
+        Beam backend for the per-round candidate searches (``scalar`` /
+        ``python`` / ``numba`` / ``auto``; ``None`` defers to
+        ``$REPRO_KERNEL``).  Backends are bit-identical, so the constructed
+        graph does not depend on this choice.
 
     Returns an :class:`~repro.core.incremental.IIBuildResult`.
     """
@@ -213,14 +242,14 @@ def build_ii_graph_batched(
                     pool, data_pack = _start_pool(computer, n_workers)
                 searches = _run_round_in_pool(
                     pool, graph, computer, nodes, seeds_per_node, k, width,
-                    n_workers,
+                    n_workers, kernel,
                 )
             else:
                 searches = [
                     (r.ids, r.dists)
-                    for r in batch_point_beam_search(
+                    for r in _round_point_searches(
                         graph, computer, nodes, seeds_per_node, k, width,
-                        visited_mask=scratch,
+                        kernel, visited_mask=scratch,
                     )
                 ]
 
@@ -294,6 +323,7 @@ def _run_round_in_pool(
     k: int,
     width: int,
     n_workers: int,
+    kernel: str | None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Fan one round's searches over the pool against a frozen CSR snapshot.
 
@@ -313,6 +343,7 @@ def _run_round_in_pool(
                 [seeds_per_node[i] for i in chunk],
                 k,
                 width,
+                kernel,
             )
             for chunk in bounds
             if chunk.size

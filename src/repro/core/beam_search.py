@@ -20,10 +20,30 @@ from .heap import NeighborQueue
 
 __all__ = [
     "SearchResult",
+    "prepare_seeds",
     "beam_search",
     "batch_point_beam_search",
     "greedy_search",
 ]
+
+
+def prepare_seeds(seeds, n: int) -> np.ndarray:
+    """Normalize a seed iterable: unique int64 ids, validated against ``[0, n)``.
+
+    Every traversal entry point shares this: a negative or >= ``n`` seed
+    would otherwise wrap (or overrun) through numpy fancy indexing and
+    corrupt results silently instead of raising.
+    """
+    seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seeds.size == 0:
+        raise ValueError("at least one seed is required")
+    if seeds[0] < 0 or seeds[-1] >= n:
+        bad = seeds[(seeds < 0) | (seeds >= n)]
+        raise ValueError(
+            f"seed ids {bad.tolist()} are outside the graph's node range "
+            f"[0, {n})"
+        )
+    return seeds
 
 
 @dataclass
@@ -94,15 +114,7 @@ def beam_search(
     else:
         visited_mask[:] = False
 
-    seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
-    if seeds.size == 0:
-        raise ValueError("at least one seed is required")
-    if seeds[0] < 0 or seeds[-1] >= graph.n:
-        bad = seeds[(seeds < 0) | (seeds >= graph.n)]
-        raise ValueError(
-            f"seed ids {bad.tolist()} are outside the graph's node range "
-            f"[0, {graph.n})"
-        )
+    seeds = prepare_seeds(seeds, graph.n)
     queue = NeighborQueue(beam_width)
     visit_order: list[np.ndarray] = []
     visit_dists: list[np.ndarray] = []
@@ -186,9 +198,9 @@ def batch_point_beam_search(
     for point, seeds in zip(points, seeds_per_point):
         mark = computer.checkpoint()
         visited_mask[:] = False
-        seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
-        if seeds.size == 0:
-            raise ValueError("at least one seed is required")
+        # the same range validation beam_search performs: a negative seed
+        # would wrap through fancy indexing and corrupt results silently
+        seeds = prepare_seeds(seeds, graph.n)
         queue = NeighborQueue(beam_width)
         seed_dists = computer.one_to_many(point, seeds)
         visited_mask[seeds] = True

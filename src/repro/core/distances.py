@@ -123,6 +123,7 @@ class DistanceComputer:
         self, ids: np.ndarray, q: np.ndarray, q_sq: float
     ) -> np.ndarray:
         """Distances from dataset points ``ids`` to a prepared query (counted)."""
+        ids = np.asarray(ids, dtype=np.intp)
         self.count += len(ids)
         sq = self._sq_norms[ids] - 2.0 * (self._data64[ids] @ q) + q_sq
         np.maximum(sq, 0.0, out=sq)
@@ -133,6 +134,80 @@ class DistanceComputer:
         ids = np.asarray(ids, dtype=np.intp)
         q, q_sq = self.prepare_query(query)
         return self.to_query_prepared(ids, q, q_sq)
+
+    def to_queries_segmented(
+        self,
+        ids: np.ndarray,
+        seg_starts: np.ndarray,
+        seg_stops: np.ndarray,
+        queries64,
+        q_sqs,
+    ) -> np.ndarray:
+        """Distances for a batch of queries' candidate segments (counted once).
+
+        ``ids`` holds the concatenated candidate ids of every query in the
+        batch; segment ``j`` (``ids[seg_starts[j]:seg_stops[j]]``) belongs to
+        query ``j``, whose prepared float64 vector and squared norm are
+        ``queries64[j]`` / ``q_sqs[j]``.  This is the one batched distance
+        call of the vectorized multi-query beam kernel.
+
+        Each segment is evaluated with the *same* expression — and thus
+        bit-identical results — as a per-query :meth:`to_query_prepared`
+        call: one GEMV per segment (column-blocked GEMM kernels round
+        differently, which would break the kernel's bit-identity contract
+        with the scalar reference path), with the elementwise norm algebra
+        applied across the whole concatenation.
+        """
+        ids = np.asarray(ids, dtype=np.intp)
+        self.count += ids.size
+        # one gather for the whole batch: a contiguous slice of the gathered
+        # rows feeds each segment's GEMV with bitwise-identical results to a
+        # fresh per-segment gather, at a fraction of the indexing overhead
+        rows = self._data64[ids]
+        gemv = np.empty(ids.size, dtype=np.float64)
+        starts = np.asarray(seg_starts).tolist()
+        stops = np.asarray(seg_stops).tolist()
+        for j, (start, stop) in enumerate(zip(starts, stops)):
+            if start < stop:
+                np.dot(rows[start:stop], queries64[j], out=gemv[start:stop])
+        if not starts or (
+            starts[0] == 0 and stops[-1] == ids.size and starts[1:] == stops[:-1]
+        ):
+            # segments tile ids contiguously (the kernel's layout): one repeat
+            lens = np.asarray(stops, dtype=np.int64) - np.asarray(starts, dtype=np.int64)
+            q_sq_rep = np.repeat(q_sqs, lens)
+        else:
+            q_sq_rep = np.empty(ids.size, dtype=np.float64)
+            for j, (start, stop) in enumerate(zip(starts, stops)):
+                q_sq_rep[start:stop] = q_sqs[j]
+        # in-place (sq_norms - 2*gemv) + q_sq, bitwise-equal regrouping
+        gemv *= -2.0
+        gemv += self._sq_norms[ids]
+        gemv += q_sq_rep
+        np.maximum(gemv, 0.0, out=gemv)
+        return np.sqrt(gemv, out=gemv)
+
+    def points_to_many_segmented(
+        self,
+        point_ids: np.ndarray,
+        ids: np.ndarray,
+        seg_starts: np.ndarray,
+        seg_stops: np.ndarray,
+    ) -> np.ndarray:
+        """Segmented :meth:`one_to_many`: batch variant for dataset-point queries.
+
+        Segment ``j`` of ``ids`` is scored against dataset point
+        ``point_ids[j]``, with cached squared norms covering both sides.
+        Bit-identical per segment to ``one_to_many(point_ids[j], segment)``.
+        """
+        point_ids = np.asarray(point_ids, dtype=np.intp)
+        return self.to_queries_segmented(
+            ids,
+            seg_starts,
+            seg_stops,
+            self._data64[point_ids],
+            self._sq_norms[point_ids],
+        )
 
     def one_to_query(self, i: int, query: np.ndarray) -> float:
         """Distance from dataset point ``i`` to ``query`` (counted)."""

@@ -18,6 +18,22 @@ __all__ = ["Graph", "CSRGraph", "validate_csr"]
 _INT32_MAX = np.iinfo(np.int32).max
 
 
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array`` (the caller's array keeps its flags).
+
+    Adjacency storage hands out views of internal arrays; freezing them at
+    the point they enter the graph turns silent corruption-by-caller into an
+    immediate ``ValueError: assignment destination is read-only``.
+    """
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+#: Shared immutable empty adjacency row (safe to alias across nodes).
+_EMPTY_ROW = _frozen(np.empty(0, dtype=np.int64))
+
+
 def validate_csr(indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
     """Check that ``(indptr, indices)`` is a well-formed CSR graph over ``n`` nodes.
 
@@ -56,15 +72,13 @@ class Graph:
         if n < 0:
             raise ValueError("n must be non-negative")
         self.n = n
-        self._adj: list[np.ndarray] = [
-            np.empty(0, dtype=np.int64) for _ in range(n)
-        ]
+        self._adj: list[np.ndarray] = [_EMPTY_ROW] * n
 
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
     def neighbors(self, node: int) -> np.ndarray:
-        """Out-neighbors of ``node`` (do not mutate the returned array)."""
+        """Out-neighbors of ``node`` (a read-only view; copy to modify)."""
         return self._adj[node]
 
     def set_neighbors(self, node: int, neighbors) -> None:
@@ -74,7 +88,7 @@ class Graph:
             arr = arr[arr != node]
             _, first = np.unique(arr, return_index=True)
             arr = arr[np.sort(first)]
-        self._adj[node] = arr
+        self._adj[node] = _frozen(arr)
 
     def add_edge(self, src: int, dst: int) -> None:
         """Append the directed edge ``src -> dst`` if not already present."""
@@ -83,7 +97,7 @@ class Graph:
         adj = self._adj[src]
         if dst in adj:
             return
-        self._adj[src] = np.append(adj, np.int64(dst))
+        self._adj[src] = _frozen(np.append(adj, np.int64(dst)))
 
     def degree(self, node: int) -> int:
         """Out-degree of ``node``."""
@@ -156,9 +170,10 @@ class Graph:
                 f"graph too large for int32 CSR indices: {num_edges} edges "
                 f"exceed the int32 range ({_INT32_MAX})"
             )
-        indices = np.empty(num_edges, dtype=np.int32)
-        for node in range(self.n):
-            indices[indptr[node] : indptr[node + 1]] = self._adj[node]
+        if num_edges == 0:
+            return indptr, np.empty(0, dtype=np.int32)
+        # one C-level concatenation instead of n Python-level slice stores
+        indices = np.concatenate(self._adj).astype(np.int32, copy=False)
         return indptr, indices
 
     @classmethod
@@ -173,7 +188,8 @@ class Graph:
         validate_csr(indptr, indices, n)
         graph = cls(n)
         if n and indices.size:
-            flat = np.ascontiguousarray(indices, dtype=np.int64)
+            flat = _frozen(np.ascontiguousarray(indices, dtype=np.int64))
+            # views of the frozen flat copy inherit read-only-ness
             graph._adj = np.split(flat, indptr[1:-1])
         return graph
 
@@ -193,7 +209,7 @@ class Graph:
     def copy(self) -> "Graph":
         """Deep copy of the graph."""
         out = Graph(self.n)
-        out._adj = [a.copy() for a in self._adj]
+        out._adj = [_frozen(a.copy()) for a in self._adj]
         return out
 
 
@@ -219,8 +235,11 @@ class CSRGraph:
         if validate:
             validate_csr(indptr, indices, n)
         self.n = n
-        self.indptr = indptr
-        self.indices = indices
+        # read-only views: ``neighbors()`` slices inherit the flag, so a
+        # caller mutating a returned slice fails loudly instead of silently
+        # corrupting the graph (the caller's own arrays stay writable)
+        self.indptr = _frozen(indptr)
+        self.indices = _frozen(indices)
 
     @classmethod
     def from_graph(cls, graph: "Graph") -> "CSRGraph":
@@ -230,7 +249,7 @@ class CSRGraph:
         return cls(indptr, indices, validate=False)
 
     def neighbors(self, node: int) -> np.ndarray:
-        """Out-neighbors of ``node`` (do not mutate the returned array)."""
+        """Out-neighbors of ``node`` (a read-only view; copy to modify)."""
         return self.indices[self.indptr[node] : self.indptr[node + 1]]
 
     def degree(self, node: int) -> int:

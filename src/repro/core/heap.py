@@ -51,6 +51,35 @@ class NeighborQueue:
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._members
 
+    @classmethod
+    def from_sorted_state(
+        cls,
+        dists: np.ndarray,
+        ids: np.ndarray,
+        expanded: np.ndarray,
+        capacity: int,
+    ) -> "NeighborQueue":
+        """Rebuild a queue from a sorted snapshot of its buffers.
+
+        The inverse of reading ``dists``/``ids``/``expanded`` off a live
+        queue: used by the vectorized beam kernel's tests to replay one
+        query's merge step against this reference implementation, and by any
+        caller that keeps beam state in SoA arrays but needs queue semantics
+        back.  ``dists`` must already be ascending.
+        """
+        queue = cls(capacity)
+        size = len(dists)
+        if size > capacity:
+            raise ValueError(f"snapshot of {size} entries exceeds capacity {capacity}")
+        if np.any(np.diff(np.asarray(dists, dtype=np.float64)) < 0):
+            raise ValueError("snapshot dists must be sorted ascending")
+        queue.dists[:size] = dists
+        queue.ids[:size] = ids
+        queue.expanded[:size] = expanded
+        queue.size = size
+        queue._members = set(int(i) for i in ids)
+        return queue
+
     def insert(self, dist: float, node_id: int) -> float:
         """Insert an entry, keeping the buffer sorted and bounded.
 

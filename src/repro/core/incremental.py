@@ -234,6 +234,7 @@ def build_ii_graph(
     prune_overflow: bool = True,
     n_workers: int | None = None,
     max_round_size: int | None = None,
+    kernel: str | None = None,
 ) -> IIBuildResult:
     """Build the baseline II graph over the computer's dataset.
 
@@ -275,6 +276,11 @@ def build_ii_graph(
     max_round_size:
         Round-size cap for the batched builder (ignored when ``n_workers``
         is ``None``).
+    kernel:
+        Beam-kernel backend for the batched builder's candidate searches
+        (``None`` = ``$REPRO_KERNEL`` = ``auto``; answers are bit-identical
+        across backends).  Ignored when ``n_workers`` is ``None`` — the
+        sequential protocol always runs the scalar reference path.
     """
     if n_workers is not None:
         from .batch_build import build_ii_graph_batched
@@ -292,6 +298,7 @@ def build_ii_graph(
             prune_overflow=prune_overflow,
             n_workers=n_workers,
             max_round_size=max_round_size,
+            kernel=kernel,
         )
     if rng is None:
         rng = np.random.default_rng(0)

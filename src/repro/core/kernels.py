@@ -1,0 +1,569 @@
+"""Vectorized multi-query beam kernel (lockstep Algorithm 1 over a batch).
+
+The scalar :func:`~repro.core.beam_search.beam_search` spends most of its
+time in per-hop Python overhead — one ``to_query_prepared`` call plus a
+Python-level insert loop per node expansion.  This module advances a whole
+*batch* of queries per iteration instead, ParlayANN-style:
+
+* every active query pops its nearest unexpanded beam entry (one ``argmax``
+  across the batch);
+* all popped nodes' neighbors are gathered into one flat array and
+  deduplicated against per-query visited state with two fancy-indexing
+  operations;
+* the whole frontier is scored by **one** batched distance call
+  (:meth:`~repro.core.distances.DistanceComputer.to_queries_segmented`),
+  keeping the paper's distance accounting exact;
+* the candidates are merged into per-query beam buffers kept in SoA layout
+  (``(batch, L)`` distance/id/expanded arrays replacing per-query
+  :class:`~repro.core.heap.NeighborQueue` objects) by a masked top-``L``
+  merge.
+
+**Determinism contract.**  For every query the kernel performs the same
+expansions, scores the same nodes with bit-identical distances (each query
+segment is evaluated by the same GEMV expression as the scalar path — GEMM
+column blocking rounds differently and is deliberately avoided), and keeps
+the same beam content, so answer ids, distances, hop counts, and per-query
+distance-call totals are **bit-identical to the scalar reference path** at
+any batch size, chunk size, worker count, and backend.  The vectorized merge
+is exact whenever the merged distances are tie-free; rows containing ties
+(duplicate vectors, duplicate adjacency entries) are replayed through
+:func:`_merge_row`, a faithful transliteration of ``NeighborQueue``'s offer
+semantics.
+
+Backends (runtime-selected via ``REPRO_KERNEL`` or per call):
+
+``python``
+    Pure-numpy lockstep kernel described above.
+``numba``
+    Same lockstep loop with every per-row merge jitted (no tie fallback
+    needed — the jitted merge replays offers exactly).  Auto-falls back to
+    ``python`` with a warning when Numba is not installed.
+``auto``
+    ``numba`` when available, else ``python``.
+``scalar``
+    Not a batch kernel: callers run the accounting-faithful per-query
+    reference path (:func:`beam_search` / :func:`batch_point_beam_search`).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from .beam_search import (
+    SearchResult,
+    batch_point_beam_search,
+    beam_search,
+    prepare_seeds,
+)
+from .distances import DistanceComputer
+from .graph import CSRGraph
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "have_numba",
+    "resolve_backend",
+    "batch_search",
+    "batch_point_search",
+]
+
+#: Recognized ``REPRO_KERNEL`` values.
+KERNEL_BACKENDS = ("auto", "python", "numba", "scalar")
+
+#: Default number of queries advanced in lockstep per chunk.  Bounds the
+#: per-chunk visited-state footprint at ``chunk_size * graph.n`` bytes while
+#: amortizing the per-iteration fixed cost; results are chunk-size-invariant.
+DEFAULT_CHUNK_SIZE = 256
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    _HAVE_NUMBA = True
+except ImportError:
+    _numba = None
+    _HAVE_NUMBA = False
+
+
+def have_numba() -> bool:
+    """Whether the jitted merge backend is importable in this environment."""
+    return _HAVE_NUMBA
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend name (or ``None`` = ``$REPRO_KERNEL`` = ``auto``).
+
+    ``auto`` resolves to ``numba`` when available, else ``python``; an
+    explicit ``numba`` request without Numba installed falls back to
+    ``python`` with a warning instead of failing (results are identical by
+    contract, only speed differs).
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_KERNEL") or "auto"
+    backend = backend.strip().lower()
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    if backend == "auto":
+        return "numba" if _HAVE_NUMBA else "python"
+    if backend == "numba" and not _HAVE_NUMBA:
+        warnings.warn(
+            "REPRO_KERNEL=numba requested but numba is not importable; "
+            "falling back to the pure-python vectorized kernel "
+            "(bit-identical results, lower throughput)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "python"
+    return backend
+
+
+# ----------------------------------------------------------------------
+# per-row merge: the NeighborQueue offer sequence as a flat function
+# ----------------------------------------------------------------------
+def _make_merge_row():
+    def _merge_row(dists, ids, expanded, size, cand_dists, cand_ids, capacity):
+        """Offer one candidate segment to one query's sorted beam row.
+
+        Replays exactly what the scalar hot loop does with a
+        ``NeighborQueue``: offers are processed in order under the evolving
+        acceptance bound, kept sorted ascending with equal-distance inserts
+        placed leftmost, duplicates rejected, and the tail evicted on
+        overflow.  Mutates the row arrays in place and returns the new size.
+        """
+        if size == capacity:
+            bound = dists[size - 1]
+        else:
+            bound = np.inf
+        for t in range(cand_dists.shape[0]):
+            dist = cand_dists[t]
+            if dist >= bound:
+                continue
+            node = cand_ids[t]
+            duplicate = False
+            for p in range(size):
+                if ids[p] == node:
+                    duplicate = True
+                    break
+            if duplicate:
+                continue
+            pos = 0
+            while pos < size and dists[pos] < dist:
+                pos += 1
+            if size == capacity:
+                tail = size - 1
+            else:
+                tail = size
+                size += 1
+            p = tail
+            while p > pos:
+                dists[p] = dists[p - 1]
+                ids[p] = ids[p - 1]
+                expanded[p] = expanded[p - 1]
+                p -= 1
+            dists[pos] = dist
+            ids[pos] = node
+            expanded[pos] = False
+            if size == capacity:
+                bound = dists[size - 1]
+        return size
+
+    return _merge_row
+
+
+_merge_row = _make_merge_row()
+if _HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _merge_row_jit = _numba.njit(nogil=True)(_make_merge_row())
+else:
+    _merge_row_jit = _merge_row
+
+
+# ----------------------------------------------------------------------
+# batched steps
+# ----------------------------------------------------------------------
+def _gather_frontier(graph, popped: np.ndarray):
+    """Concatenated neighbor lists of ``popped`` plus per-node lengths.
+
+    CSR graphs are gathered with pure array arithmetic; adjacency-list
+    graphs fall back to one ``neighbors()`` call per popped node.
+    """
+    if isinstance(graph, CSRGraph):
+        indptr = graph.indptr
+        starts = indptr[popped]
+        lens = indptr[popped + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), lens
+        offsets = np.cumsum(lens) - lens
+        flat_pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, lens)
+            + np.repeat(starts, lens)
+        )
+        return graph.indices[flat_pos].astype(np.int64, copy=False), lens
+    lists = [graph.neighbors(int(node)) for node in popped]
+    lens = np.asarray([nbrs.size for nbrs in lists], dtype=np.int64)
+    if not lists:
+        return np.empty(0, dtype=np.int64), lens
+    return np.concatenate(lists), lens
+
+
+class _MergeWorkspace:
+    """Reusable scratch matrices for the vectorized merge.
+
+    One hop's merge sorts ``(rows, capacity + max_count)`` matrices; reusing
+    a grow-only allocation across the chunk's hops removes three array
+    allocations plus three concatenations per iteration from the hot loop.
+    """
+
+    __slots__ = ("d", "i", "e")
+
+    def __init__(self):
+        self.d = self.i = self.e = None
+
+    def take(self, n_rows: int, n_cols: int):
+        if (
+            self.d is None
+            or self.d.shape[0] < n_rows
+            or self.d.shape[1] < n_cols
+        ):
+            rows = n_rows if self.d is None else max(n_rows, self.d.shape[0])
+            cols = n_cols if self.d is None else max(n_cols, self.d.shape[1])
+            self.d = np.empty((rows, cols))
+            self.i = np.empty((rows, cols), dtype=np.int64)
+            self.e = np.empty((rows, cols), dtype=bool)
+        return (
+            self.d[:n_rows, :n_cols],
+            self.i[:n_rows, :n_cols],
+            self.e[:n_rows, :n_cols],
+        )
+
+
+def _merge_batch(
+    beam_d, beam_i, beam_e, sizes, lanes, cand_d, cand_i, seg_starts, seg_stops,
+    capacity, backend, ws, rows_rep=None,
+):
+    """Merge each lane's candidate segment into its beam row.
+
+    Candidates at or beyond their lane's current acceptance bound (the
+    worst kept distance of a full beam; ``inf`` while the beam has room —
+    slots past ``sizes`` hold ``inf`` by invariant) are dropped up front:
+    the offer sequence's bound is monotonically non-increasing, so such a
+    candidate can never be accepted and removing it leaves the merged beam,
+    sizes, and replay outcomes exactly unchanged.  Late in a search nearly
+    every scored neighbor falls outside the bound, which keeps the sort
+    width small.
+
+    ``rows_rep`` (candidate row index per ``cand_d`` entry, i.e.
+    ``np.repeat(arange(lanes.size), counts)``) may be passed in when the
+    caller already has it from building the segments.
+    """
+    counts = seg_stops - seg_starts
+    if rows_rep is None:
+        rows_rep = np.repeat(np.arange(lanes.size), counts)
+    keep = cand_d < beam_d[lanes, capacity - 1][rows_rep]
+    if not keep.all():
+        cand_d = cand_d[keep]
+        cand_i = cand_i[keep]
+        rows_rep = rows_rep[keep]
+        counts = np.bincount(rows_rep, minlength=lanes.size)
+        nonzero = counts > 0
+        if not nonzero.all():
+            # rows whose every candidate was filtered need no merge at all
+            lanes = lanes[nonzero]
+            counts = counts[nonzero]
+            if not lanes.size:
+                return
+            # compact surviving rows' indices to 0..len(lanes)-1
+            rows_rep = (np.cumsum(nonzero) - 1)[rows_rep]
+        seg_stops = np.cumsum(counts)
+        seg_starts = seg_stops - counts
+    if backend == "numba":
+        for r in range(lanes.size):
+            start, stop = int(seg_starts[r]), int(seg_stops[r])
+            if start == stop:
+                continue
+            lane = int(lanes[r])
+            sizes[lane] = _merge_row_jit(
+                beam_d[lane], beam_i[lane], beam_e[lane], int(sizes[lane]),
+                cand_d[start:stop], cand_i[start:stop], capacity,
+            )
+        return
+    _merge_batch_python(
+        beam_d, beam_i, beam_e, sizes, lanes, cand_d, cand_i,
+        seg_starts, seg_stops, capacity, ws, rows_rep,
+    )
+
+
+def _merge_batch_python(
+    beam_d, beam_i, beam_e, sizes, lanes, cand_d, cand_i, seg_starts, seg_stops,
+    capacity, ws, rows_rep,
+):
+    """Vectorized masked top-``L`` merge with an exact fallback on ties.
+
+    With tie-free distances the dynamic offer sequence provably keeps
+    exactly the ``L`` smallest distances of (old beam ∪ candidates), so one
+    stable row-wise argsort over the concatenation reproduces the scalar
+    queue bit-for-bit.  Rows whose merged head contains any equal adjacent
+    distances (where insertion order and the strict acceptance bound start
+    to matter) are replayed through :func:`_merge_row` instead.
+
+    The candidate pad region reuses workspace memory without clearing ids:
+    a stale id can only be "kept" behind an ``inf`` distance past the row's
+    valid size, where finalize/pop/replay never read it.
+    """
+    counts = seg_stops - seg_starts
+    max_count = int(counts.max()) if counts.size else 0
+    if max_count == 0:
+        return
+    n_rows = lanes.size
+    all_d, all_i, all_e = ws.take(n_rows, capacity + max_count)
+    all_d[:, :capacity] = beam_d[lanes]
+    all_i[:, :capacity] = beam_i[lanes]
+    all_e[:, :capacity] = beam_e[lanes]
+    all_d[:, capacity:] = np.inf
+    all_e[:, capacity:] = True
+    cols = (
+        np.arange(cand_d.size, dtype=np.int64)
+        - np.repeat(seg_starts, counts)
+        + capacity
+    )
+    all_d[rows_rep, cols] = cand_d
+    all_i[rows_rep, cols] = cand_i
+    all_e[rows_rep, cols] = False
+
+    order = np.argsort(all_d, axis=1, kind="stable")
+    head_order = order[:, : capacity + 1]
+    row_idx = np.arange(n_rows)[:, None]
+    head = all_d[row_idx, head_order]
+
+    old_sizes = sizes[lanes]
+    valid = old_sizes + counts
+    # pair p compares sorted positions (p, p+1); only pairs of real entries
+    # (position p+1 < valid) can affect the kept beam or its order
+    pair_real = np.arange(1, head.shape[1])[None, :] < np.minimum(
+        valid, capacity + 1
+    )[:, None]
+    ties = ((head[:, 1:] == head[:, :-1]) & pair_real).any(axis=1)
+
+    clean = ~ties
+    if clean.any():
+        clean_rows = np.flatnonzero(clean)[:, None]
+        keep = head_order[:, :capacity]
+        target = lanes[clean]
+        beam_d[target] = head[clean, :capacity]
+        beam_i[target] = all_i[clean_rows, keep[clean]]
+        beam_e[target] = all_e[clean_rows, keep[clean]]
+        sizes[target] = np.minimum(valid[clean], capacity)
+    for r in np.flatnonzero(ties):
+        start, stop = int(seg_starts[r]), int(seg_stops[r])
+        lane = int(lanes[r])
+        sizes[lane] = _merge_row(
+            beam_d[lane], beam_i[lane], beam_e[lane], int(sizes[lane]),
+            cand_d[start:stop], cand_i[start:stop], capacity,
+        )
+
+
+def _search_chunk(
+    graph,
+    computer: DistanceComputer,
+    seeds_per_lane: list[np.ndarray],
+    score_segments,
+    k: int,
+    beam_width: int,
+    backend: str,
+) -> list[SearchResult]:
+    """Run one lockstep chunk; lane ``j`` answers ``score_segments``'s query ``j``."""
+    n_lanes = len(seeds_per_lane)
+    beam_d = np.full((n_lanes, beam_width), np.inf)
+    beam_i = np.full((n_lanes, beam_width), -1, dtype=np.int64)
+    # slots at/after ``sizes[lane]`` hold no entry; flagging them expanded
+    # lets pop/termination run without a separate validity mask
+    beam_e = np.ones((n_lanes, beam_width), dtype=bool)
+    sizes = np.zeros(n_lanes, dtype=np.int64)
+    hops = np.zeros(n_lanes, dtype=np.int64)
+    calls = np.zeros(n_lanes, dtype=np.int64)
+    visited = np.zeros((n_lanes, graph.n), dtype=bool)
+    ws = _MergeWorkspace()
+
+    # ---- seed phase: one batched distance call over every lane's seeds ----
+    seed_lens = np.asarray([s.size for s in seeds_per_lane], dtype=np.int64)
+    flat_seeds = np.concatenate(seeds_per_lane)
+    seg_stops = np.cumsum(seed_lens)
+    seg_starts = seg_stops - seed_lens
+    lanes_all = np.arange(n_lanes, dtype=np.int64)
+    seed_dists = score_segments(flat_seeds, seg_starts, seg_stops, lanes_all)
+    calls += seed_lens
+    seed_rows = np.repeat(lanes_all, seed_lens)
+    visited[seed_rows, flat_seeds] = True
+    _merge_batch(
+        beam_d, beam_i, beam_e, sizes, lanes_all, seed_dists, flat_seeds,
+        seg_starts, seg_stops, beam_width, backend, ws, rows_rep=seed_rows,
+    )
+
+    # ---- lockstep hop loop ----
+    active = lanes_all
+    while active.size:
+        rows_e = beam_e[active]
+        # argmin of a bool row = first False = nearest unexpanded entry
+        first = np.argmin(rows_e, axis=1)
+        alive = ~rows_e[np.arange(active.size), first]
+        active = active[alive]
+        if not active.size:
+            break
+        first = first[alive]
+        beam_e[active, first] = True
+        popped = beam_i[active, first]
+        hops[active] += 1
+
+        nbr_flat, nbr_lens = _gather_frontier(graph, popped)
+        if nbr_flat.size:
+            owner_local = np.repeat(np.arange(active.size), nbr_lens)
+            owner_lanes = active[owner_local]
+            fresh_mask = ~visited[owner_lanes, nbr_flat]
+            fresh = nbr_flat[fresh_mask]
+            if fresh.size:
+                fresh_lanes = owner_lanes[fresh_mask]
+                fresh_rows = owner_local[fresh_mask]
+                visited[fresh_lanes, fresh] = True
+                counts = np.bincount(fresh_rows, minlength=active.size)
+                seg_stops = np.cumsum(counts)
+                seg_starts = seg_stops - counts
+                dists = score_segments(fresh, seg_starts, seg_stops, active)
+                calls[active] += counts
+                _merge_batch(
+                    beam_d, beam_i, beam_e, sizes, active, dists, fresh,
+                    seg_starts, seg_stops, beam_width, backend, ws,
+                    rows_rep=fresh_rows,
+                )
+
+    results = []
+    for lane in range(n_lanes):
+        k_eff = min(k, int(sizes[lane]))
+        results.append(
+            SearchResult(
+                ids=beam_i[lane, :k_eff].copy(),
+                dists=beam_d[lane, :k_eff].copy(),
+                distance_calls=int(calls[lane]),
+                hops=int(hops[lane]),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def batch_search(
+    graph,
+    computer: DistanceComputer,
+    queries: np.ndarray,
+    seeds_per_query,
+    k: int,
+    beam_width: int,
+    backend: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[SearchResult]:
+    """Answer a batch of external queries with the multi-query beam kernel.
+
+    Per-query answers, distances, hop counts, and distance-call totals are
+    bit-identical to per-query :func:`beam_search` calls with the same
+    seeds, at any ``chunk_size`` and backend.  ``backend="scalar"`` runs the
+    reference path itself.  ``visited``/``visited_dists`` are not collected
+    (builders that consume them use :func:`beam_search` directly).
+    """
+    backend = resolve_backend(backend)
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    queries = np.atleast_2d(np.asarray(queries))
+    seeds_list = [prepare_seeds(seeds, graph.n) for seeds in seeds_per_query]
+    if len(seeds_list) != queries.shape[0]:
+        raise ValueError(
+            f"queries and seeds_per_query disagree: {queries.shape[0]} queries "
+            f"vs {len(seeds_list)} seed lists"
+        )
+    if backend == "scalar":
+        scratch = np.zeros(graph.n, dtype=bool)
+        return [
+            beam_search(
+                graph, computer, query, seeds, k, beam_width,
+                visited_mask=scratch,
+            )
+            for query, seeds in zip(queries, seeds_list)
+        ]
+
+    prepared = [computer.prepare_query(query) for query in queries]
+    q64s = np.ascontiguousarray([q for q, _ in prepared])
+    q_sqs = np.asarray([q_sq for _, q_sq in prepared])
+    results: list[SearchResult] = []
+    for start in range(0, len(seeds_list), chunk_size):
+        stop = min(start + chunk_size, len(seeds_list))
+
+        def score(ids, seg_starts, seg_stops, lanes, _start=start):
+            sel = _start + lanes
+            return computer.to_queries_segmented(
+                ids, seg_starts, seg_stops, q64s[sel], q_sqs[sel]
+            )
+
+        results.extend(
+            _search_chunk(
+                graph, computer, seeds_list[start:stop], score, k, beam_width,
+                backend,
+            )
+        )
+    return results
+
+
+def batch_point_search(
+    graph,
+    computer: DistanceComputer,
+    points,
+    seeds_per_point,
+    k: int,
+    beam_width: int,
+    backend: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[SearchResult]:
+    """Kernel variant of :func:`batch_point_beam_search` (queries are dataset
+    points given by id; cached squared norms cover both sides).
+
+    Bit-identical to :func:`batch_point_beam_search` per point at any chunk
+    size and backend.
+    """
+    backend = resolve_backend(backend)
+    if backend == "scalar":
+        return batch_point_beam_search(
+            graph, computer, points, seeds_per_point, k, beam_width
+        )
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    points = np.asarray(list(points), dtype=np.int64)
+    seeds_list = [prepare_seeds(seeds, graph.n) for seeds in seeds_per_point]
+    if len(seeds_list) != points.shape[0]:
+        raise ValueError(
+            f"points and seeds_per_point disagree: {points.shape[0]} points "
+            f"vs {len(seeds_list)} seed lists"
+        )
+    results: list[SearchResult] = []
+    for start in range(0, len(seeds_list), chunk_size):
+        stop = min(start + chunk_size, len(seeds_list))
+        chunk_points = points[start:stop]
+
+        def score(ids, seg_starts, seg_stops, lanes, _points=chunk_points):
+            return computer.points_to_many_segmented(
+                _points[lanes], ids, seg_starts, seg_stops
+            )
+
+        results.extend(
+            _search_chunk(
+                graph, computer, seeds_list[start:stop], score, k, beam_width,
+                backend,
+            )
+        )
+    return results

@@ -77,7 +77,13 @@ class BatchResult:
 _WORKER: dict = {}
 
 
-def _worker_init(index_bytes: bytes, specs: dict, k: int, beam_width: int | None) -> None:
+def _worker_init(
+    index_bytes: bytes,
+    specs: dict,
+    k: int,
+    beam_width: int | None,
+    kernel: str | None = None,
+) -> None:
     """Pool initializer: mount shared arrays and rebuild the index skeleton."""
     arrays, segments = SharedArrayPack.attach(specs)
     index = pickle.loads(index_bytes)
@@ -88,30 +94,79 @@ def _worker_init(index_bytes: bytes, specs: dict, k: int, beam_width: int | None
         queries=queries,
         k=k,
         beam_width=beam_width,
+        kernel=kernel,
         segments=segments,
     )
 
 
 def _worker_run_chunk(query_indices: np.ndarray) -> list[tuple]:
     """Answer a chunk of queries by global index; returns plain tuples."""
-    index = _WORKER["index"]
-    queries = _WORKER["queries"]
-    k = _WORKER["k"]
-    beam_width = _WORKER["beam_width"]
-    out = []
-    for query_index in query_indices:
-        outcome = _answer_one(index, queries[query_index], int(query_index), k, beam_width)
-        out.append(
-            (
-                outcome.query_index,
-                outcome.ids,
-                outcome.dists,
-                outcome.distance_calls,
-                outcome.hops,
-                outcome.time_s,
-            )
+    outcomes = _answer_chunk(
+        _WORKER["index"],
+        _WORKER["queries"],
+        query_indices,
+        _WORKER["k"],
+        _WORKER["beam_width"],
+        _WORKER["kernel"],
+    )
+    return [
+        (
+            outcome.query_index,
+            outcome.ids,
+            outcome.dists,
+            outcome.distance_calls,
+            outcome.hops,
+            outcome.time_s,
         )
-    return out
+        for outcome in outcomes
+    ]
+
+
+def _answer_chunk(
+    index: BaseIndex,
+    queries: np.ndarray,
+    query_indices,
+    k: int,
+    beam_width: int | None,
+    kernel: str | None,
+) -> list[QueryOutcome]:
+    """Answer one chunk of queries, batched through the beam kernel.
+
+    ``kernel="scalar"`` (or any index without a batch path) answers
+    per-query through :func:`_answer_one`, the accounting-faithful
+    reference; otherwise the chunk goes through ``index.search_batch`` as
+    one multi-query kernel invocation.  Answers, hop counts, and distance
+    accounting are bit-identical either way; only per-query latency
+    attribution differs (a batched chunk reports the chunk's mean).
+    """
+    from ..core.kernels import resolve_backend
+
+    query_indices = np.asarray(query_indices, dtype=np.int64)
+    if resolve_backend(kernel) == "scalar":
+        return [
+            _answer_one(index, queries[i], int(i), k, beam_width)
+            for i in query_indices
+        ]
+    start = time.perf_counter()
+    results = index.search_batch(
+        queries[query_indices],
+        k=k,
+        beam_width=beam_width,
+        query_indices=query_indices,
+        kernel=kernel,
+    )
+    per_query_s = (time.perf_counter() - start) / max(len(results), 1)
+    return [
+        QueryOutcome(
+            query_index=int(query_index),
+            ids=result.ids,
+            dists=result.dists,
+            distance_calls=result.distance_calls,
+            hops=result.hops,
+            time_s=per_query_s,
+        )
+        for query_index, result in zip(query_indices, results)
+    ]
 
 
 def _answer_one(
@@ -143,13 +198,18 @@ def run_batch(
     beam_width: int | None = None,
     n_workers: int = 1,
     chunks_per_worker: int = 4,
+    kernel: str | None = None,
 ) -> BatchResult:
     """Answer a query batch, sequentially or across worker processes.
 
     ``n_workers=1`` answers in-process (the paper's sequential protocol);
-    ``n_workers>1`` shards the batch over a process pool.  Either way the
-    outcomes come back ordered by query index and are bit-identical for a
-    fixed index seed.
+    ``n_workers>1`` shards the batch over a process pool.  ``kernel``
+    selects the beam backend (``None`` = ``$REPRO_KERNEL`` = ``auto``):
+    batched kernels answer each worker's chunk as one vectorized
+    multi-query traversal, ``"scalar"`` keeps the per-query reference loop.
+    Either way the outcomes come back ordered by query index and are
+    bit-identical for a fixed index seed — across worker counts, chunkings,
+    and kernel backends.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -157,10 +217,9 @@ def run_batch(
     n_queries = queries.shape[0]
     start = time.perf_counter()
     if n_workers == 1 or n_queries <= 1:
-        outcomes = [
-            _answer_one(index, queries[i], i, k, beam_width)
-            for i in range(n_queries)
-        ]
+        outcomes = _answer_chunk(
+            index, queries, np.arange(n_queries), k, beam_width, kernel
+        )
         return BatchResult(outcomes, time.perf_counter() - start, 1)
 
     shared = dict(index.shared_query_state())
@@ -181,7 +240,7 @@ def run_batch(
         with context.Pool(
             processes=n_workers,
             initializer=_worker_init,
-            initargs=(index_bytes, pack.specs, k, beam_width),
+            initargs=(index_bytes, pack.specs, k, beam_width, kernel),
         ) as pool:
             chunk_results = pool.map(_worker_run_chunk, chunks)
         outcomes = [

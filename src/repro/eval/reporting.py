@@ -94,6 +94,12 @@ class Report:
         self.directory = Path(directory)
         self._chunks: list[str] = []
         self._tables: list[dict] = []
+        self.metadata: dict = {}
+
+    def add_metadata(self, **fields) -> None:
+        """Record run configuration (kernel backend, worker count, scale, ...)
+        in the JSON archive, so a result can be traced to how it was produced."""
+        self.metadata.update({key: _json_safe(value) for key, value in fields.items()})
 
     def add(self, text: str) -> None:
         """Append a block of text (also printed immediately)."""
@@ -118,10 +124,10 @@ class Report:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / f"{self.name}.txt"
         path.write_text("\n\n".join(self._chunks) + "\n")
-        if self._tables:
+        if self._tables or self.metadata:
+            payload = {"name": self.name, "tables": self._tables}
+            if self.metadata:
+                payload["metadata"] = self.metadata
             json_path = self.directory / f"{self.name}.json"
-            json_path.write_text(
-                json.dumps({"name": self.name, "tables": self._tables}, indent=2)
-                + "\n"
-            )
+            json_path.write_text(json.dumps(payload, indent=2) + "\n")
         return path

@@ -108,13 +108,16 @@ def run_workload(
     k: int,
     beam_width: int,
     n_workers: int = 1,
+    kernel: str | None = None,
 ) -> QueryMeasurement:
     """Run one workload at one beam width over the batch-query engine.
 
     ``n_workers=1`` (the default) keeps the paper's sequential protocol;
-    larger values shard the batch across worker processes.  Recall and the
-    aggregate distance-calculation count are identical for every worker
-    count (see :mod:`repro.eval.parallel`).
+    larger values shard the batch across worker processes.  ``kernel``
+    selects the beam backend (``scalar`` / ``python`` / ``numba`` / ``auto``;
+    ``None`` defers to ``$REPRO_KERNEL``).  Recall and the aggregate
+    distance-calculation count are identical for every worker count and
+    kernel backend (see :mod:`repro.eval.parallel`).
     """
     queries = np.atleast_2d(np.asarray(queries))
     truth_ids = np.atleast_2d(np.asarray(truth_ids))
@@ -123,7 +126,10 @@ def run_workload(
             f"queries and truth_ids disagree: {queries.shape[0]} queries vs "
             f"{truth_ids.shape[0]} ground-truth rows"
         )
-    batch = run_batch(index, queries, k=k, beam_width=beam_width, n_workers=n_workers)
+    batch = run_batch(
+        index, queries, k=k, beam_width=beam_width, n_workers=n_workers,
+        kernel=kernel,
+    )
     recalls = [
         recall(outcome.ids, truth[:k])
         for outcome, truth in zip(batch.outcomes, truth_ids)
@@ -154,6 +160,7 @@ def sweep_beam_widths(
     k: int = 10,
     beam_widths: tuple[int, ...] = (10, 20, 40, 80, 160, 320),
     n_workers: int = 1,
+    kernel: str | None = None,
 ) -> list[SweepPoint]:
     """Trace the recall / distance-calculation tradeoff curve of a method.
 
@@ -178,7 +185,8 @@ def sweep_beam_widths(
         if width < k:
             continue
         measurement = run_workload(
-            index, queries, truth_ids, k, width, n_workers=n_workers
+            index, queries, truth_ids, k, width, n_workers=n_workers,
+            kernel=kernel,
         )
         curve.append(
             SweepPoint(

@@ -71,6 +71,35 @@ class BaseIndex(abc.ABC):
     ) -> SearchResult:
         """Answer one ng-approximate k-NN query."""
 
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int | None = None,
+        query_indices=None,
+        kernel: str | None = None,
+    ) -> list[SearchResult]:
+        """Answer a batch of queries; results match per-query :meth:`search`.
+
+        The generic implementation is the per-query reference loop.  Graph
+        indexes answering through the standard Algorithm-1 path override
+        this with the vectorized multi-query beam kernel
+        (:mod:`repro.core.kernels`), which is bit-identical by contract.
+
+        ``query_indices`` (global indices within the workload) reseed the
+        per-query RNG before each query's seed selection, exactly like the
+        batch-query engine's sequential path — so batched and per-query
+        execution consume identical randomness.
+        """
+        del kernel  # the reference loop has no backend to select
+        queries = np.atleast_2d(np.asarray(queries))
+        results = []
+        for j in range(queries.shape[0]):
+            if query_indices is not None:
+                self.seed_query_rng(int(query_indices[j]))
+            results.append(self.search(queries[j], k=k, beam_width=beam_width))
+        return results
+
     def memory_bytes(self) -> int:
         """Bytes held by index structures (excludes the raw vectors)."""
         return 0
@@ -136,6 +165,9 @@ class BaseGraphIndex(BaseIndex):
         self.graph: Graph | None = None
         self.default_beam_width = default_beam_width
         self._visited_scratch: np.ndarray | None = None
+        # (source graph, CSRGraph flattening) for the batch kernel; keyed by
+        # identity so a rebuild invalidates it
+        self._csr_cache: tuple | None = None
 
     @abc.abstractmethod
     def _query_seeds(self, query: np.ndarray) -> np.ndarray:
@@ -167,6 +199,71 @@ class BaseGraphIndex(BaseIndex):
         result.distance_calls = computer.since(mark)
         return result
 
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int | None = None,
+        query_indices=None,
+        kernel: str | None = None,
+    ) -> list[SearchResult]:
+        """Batched Algorithm 1 via the vectorized multi-query beam kernel.
+
+        Seed selection stays per-query (it is method-specific and consumes
+        the per-query RNG); the beam traversal runs through
+        :func:`repro.core.kernels.batch_search`.  Per-query ids, distances,
+        hops, and distance-call totals are bit-identical to :meth:`search`.
+
+        Methods that override :meth:`search` (and thus answer outside the
+        standard beam path), and the ``scalar`` kernel backend, fall back to
+        the per-query reference loop.
+        """
+        from ..core.kernels import batch_search, resolve_backend
+
+        backend = resolve_backend(kernel)
+        if backend == "scalar" or type(self).search is not BaseGraphIndex.search:
+            return super().search_batch(
+                queries, k=k, beam_width=beam_width, query_indices=query_indices
+            )
+        computer = self._require_built()
+        if self.graph is None:
+            raise RuntimeError(f"{self.name}: graph missing; build() first")
+        queries = np.atleast_2d(np.asarray(queries))
+        width = beam_width or max(self.default_beam_width, k)
+        width = max(width, k)
+        graph = self._kernel_graph()
+        seeds_per_query = []
+        seed_calls = []
+        for j in range(queries.shape[0]):
+            if query_indices is not None:
+                self.seed_query_rng(int(query_indices[j]))
+            mark = computer.checkpoint()
+            seeds_per_query.append(self._query_seeds(queries[j]))
+            seed_calls.append(computer.since(mark))
+        results = batch_search(
+            graph, computer, queries, seeds_per_query,
+            k=k, beam_width=width, backend=backend,
+        )
+        # charge each query's seed-selection distance work to that query,
+        # matching the scalar search()'s checkpoint placement
+        for result, calls in zip(results, seed_calls):
+            result.distance_calls += calls
+        return results
+
+    def _kernel_graph(self):
+        """The graph in the layout the batch kernel traverses fastest.
+
+        Adjacency-list graphs are flattened to CSR once and cached (CSR
+        frontier gathering is pure array arithmetic); traversal order over
+        the flattening is identical, so answers are unaffected.  The cache
+        is keyed by graph identity, so rebuilding invalidates it.
+        """
+        if isinstance(self.graph, CSRGraph):
+            return self.graph
+        if self._csr_cache is None or self._csr_cache[0] is not self.graph:
+            self._csr_cache = (self.graph, CSRGraph.from_graph(self.graph))
+        return self._csr_cache[1]
+
     def memory_bytes(self) -> int:
         """Graph adjacency bytes; subclasses add their seed structures."""
         return self.graph.memory_bytes() if self.graph is not None else 0
@@ -191,12 +288,14 @@ class BaseGraphIndex(BaseIndex):
                 arrays["csr_indptr"], arrays["csr_indices"], validate=False
             )
         self._visited_scratch = None
+        self._csr_cache = None
 
     def __getstate__(self) -> dict:
         """Pickle without graph/scratch; workers re-attach the CSR view."""
         state = super().__getstate__()
         state["graph"] = None
         state["_visited_scratch"] = None
+        state["_csr_cache"] = None
         return state
 
     def degree_stats(self) -> dict[str, float]:

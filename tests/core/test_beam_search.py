@@ -153,3 +153,19 @@ def test_beam_search_runs_on_csr_graph(small_graph):
     assert a.ids.tolist() == b.ids.tolist()
     assert a.distance_calls == b.distance_calls
     assert a.hops == b.hops
+
+
+def test_batch_point_beam_search_validates_seed_range(small_graph):
+    """Regression: out-of-range seeds used to flow into fancy indexing and
+    corrupt batch point searches silently instead of raising."""
+    from repro.core.beam_search import batch_point_beam_search
+
+    computer, graph = small_graph
+    with pytest.raises(ValueError, match="outside the graph's node range"):
+        batch_point_beam_search(
+            graph, computer, [0, 1], [[0], [graph.n]], k=2, beam_width=8
+        )
+    with pytest.raises(ValueError, match="seed ids"):
+        batch_point_beam_search(
+            graph, computer, [0], [[-3]], k=2, beam_width=8
+        )

@@ -194,3 +194,47 @@ def test_property_triangle_inequality(data):
     d12 = computer.between(1, 2)
     d02 = computer.between(0, 2)
     assert d02 <= d01 + d12 + 1e-6
+
+
+def test_to_query_prepared_coerces_id_dtype(computer):
+    """Regression: float/object id arrays used to reach fancy indexing raw;
+    now they are coerced to np.intp up front."""
+    q, q_sq = computer.prepare_query(computer.data[0])
+    ref = computer.to_query_prepared(np.asarray([0, 1, 2], dtype=np.intp), q, q_sq)
+    for ids in ([0, 1, 2], np.asarray([0, 1, 2], dtype=np.uint32),
+                np.asarray([0.0, 1.0, 2.0])):
+        got = computer.to_query_prepared(ids, q, q_sq)
+        assert np.array_equal(ref, got)
+
+
+def test_to_queries_segmented_matches_prepared_per_query(computer):
+    """The kernel's one batched distance call must be bitwise equal, segment
+    by segment, to per-query to_query_prepared calls."""
+    rng = np.random.default_rng(0)
+    queries = rng.standard_normal((4, computer.dim))
+    prepared = [computer.prepare_query(q) for q in queries]
+    ids = rng.integers(0, computer.n, size=17)
+    stops = np.asarray([5, 5, 11, 17])  # includes an empty segment
+    starts = np.asarray([0, 5, 5, 11])
+    mark = computer.checkpoint()
+    got = computer.to_queries_segmented(
+        ids, starts, stops,
+        np.ascontiguousarray([q for q, _ in prepared]),
+        np.asarray([s for _, s in prepared]),
+    )
+    assert computer.since(mark) == ids.size
+    for j, (q, q_sq) in enumerate(prepared):
+        ref = computer.to_query_prepared(ids[starts[j]:stops[j]], q, q_sq)
+        assert np.array_equal(got[starts[j]:stops[j]], ref)
+
+
+def test_points_to_many_segmented_matches_one_to_many(computer):
+    rng = np.random.default_rng(1)
+    points = rng.integers(0, computer.n, size=3)
+    ids = rng.integers(0, computer.n, size=9)
+    stops = np.asarray([4, 6, 9])
+    starts = np.asarray([0, 4, 6])
+    got = computer.points_to_many_segmented(points, ids, starts, stops)
+    for j in range(3):
+        ref = computer.one_to_many(int(points[j]), ids[starts[j]:stops[j]])
+        assert np.array_equal(got[starts[j]:stops[j]], ref)

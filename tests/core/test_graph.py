@@ -174,3 +174,30 @@ def test_csr_graph_memory_bytes():
     g = Graph.from_neighbor_lists([[1], [0]])
     csr = CSRGraph.from_graph(g)
     assert csr.memory_bytes() == csr.indptr.nbytes + csr.indices.nbytes
+
+
+def test_graph_neighbors_view_is_read_only():
+    """Regression: builders hold neighbors() views; mutating one through a
+    caller used to silently corrupt the graph."""
+    g = Graph.from_neighbor_lists([[1, 2], [0], [0]])
+    view = g.neighbors(0)
+    with pytest.raises(ValueError, match="read-only"):
+        view[0] = 99
+    # the graph still answers from uncorrupted storage
+    assert g.neighbors(0).tolist() == [1, 2]
+
+
+def test_csr_graph_neighbors_view_is_read_only():
+    csr = CSRGraph.from_graph(Graph.from_neighbor_lists([[1], [0]]))
+    with pytest.raises(ValueError, match="read-only"):
+        csr.neighbors(0)[0] = 1
+    with pytest.raises(ValueError, match="read-only"):
+        csr.indices[0] = 1
+
+
+def test_graph_set_neighbors_keeps_caller_array_writable():
+    g = Graph(3)
+    mine = np.asarray([1, 2], dtype=np.int64)
+    g.set_neighbors(0, mine)
+    mine[0] = 2  # caller's own array is untouched by the freeze
+    assert g.neighbors(0).tolist() == [1, 2]

@@ -1,0 +1,277 @@
+"""Tests for the vectorized multi-query beam kernel.
+
+The kernel's contract is bit-identity with the scalar reference path —
+same answer ids, distances, hop counts, and per-query distance-call totals
+at any batch size, chunk size, and backend — so nearly every test here is a
+cross-check against :func:`repro.core.beam_search.beam_search` /
+:func:`batch_point_beam_search` on adversarial inputs (duplicate vectors,
+duplicate adjacency entries, disconnected nodes).
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.beam_search import batch_point_beam_search, beam_search
+from repro.core.distances import DistanceComputer
+from repro.core.graph import CSRGraph, Graph
+from repro.core.heap import NeighborQueue
+from repro.core.kernels import (
+    DEFAULT_CHUNK_SIZE,
+    KERNEL_BACKENDS,
+    _merge_row,
+    batch_point_search,
+    batch_search,
+    have_numba,
+    resolve_backend,
+)
+
+BACKENDS = ["python"] + (["numba"] if have_numba() else [])
+
+
+def _random_world(seed, n=400, d=8, duplicates=True):
+    """A random graph over clustered data, with ties baked in."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, d)).astype(np.float32)
+    if duplicates:
+        # duplicate vectors => exactly-equal distances => merge tie paths
+        k = n // 8
+        data[k : 2 * k] = data[:k]
+    graph = Graph(n)
+    for i in range(n):
+        nbrs = rng.integers(0, n, size=int(rng.integers(0, 9)))
+        graph.set_neighbors(i, nbrs)
+    return data, graph
+
+
+def _reference(graph, computer, queries, seeds, k, width):
+    scratch = np.zeros(graph.n, dtype=bool)
+    return [
+        beam_search(graph, computer, q, s, k=k, beam_width=width,
+                    visited_mask=scratch)
+        for q, s in zip(queries, seeds)
+    ]
+
+
+def _assert_identical(ref, got):
+    assert len(ref) == len(got)
+    for a, b in zip(ref, got):
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.dists, b.dists)
+        assert a.hops == b.hops
+        assert a.distance_calls == b.distance_calls
+
+
+# ----------------------------------------------------------------------
+# backend resolution
+# ----------------------------------------------------------------------
+def test_backend_names_exposed():
+    assert set(KERNEL_BACKENDS) == {"auto", "python", "numba", "scalar"}
+
+
+def test_resolve_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend("cuda")
+
+
+def test_resolve_explicit_passthrough():
+    assert resolve_backend("python") == "python"
+    assert resolve_backend("scalar") == "scalar"
+    assert resolve_backend(" PYTHON ") == "python"
+
+
+def test_resolve_auto():
+    assert resolve_backend("auto") == ("numba" if have_numba() else "python")
+
+
+def test_resolve_reads_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "scalar")
+    assert resolve_backend(None) == "scalar"
+    monkeypatch.delenv("REPRO_KERNEL")
+    assert resolve_backend(None) in ("python", "numba")
+
+
+@pytest.mark.skipif(have_numba(), reason="needs an environment without numba")
+def test_numba_request_falls_back_with_warning():
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert resolve_backend("numba") == "python"
+
+
+@pytest.mark.skipif(not have_numba(), reason="numba not installed")
+def test_numba_request_resolves_silently():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_backend("numba") == "numba"
+
+
+# ----------------------------------------------------------------------
+# bit-identity against the scalar reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("as_csr", [False, True])
+def test_batch_search_matches_scalar(backend, as_csr):
+    data, graph = _random_world(0)
+    if as_csr:
+        graph = CSRGraph.from_graph(graph)
+    rng = np.random.default_rng(1)
+    queries = rng.standard_normal((37, 8)).astype(np.float32)
+    seeds = [rng.integers(0, graph.n, size=int(rng.integers(1, 5)))
+             for _ in range(37)]
+
+    ref_computer = DistanceComputer(data)
+    ref = _reference(graph, ref_computer, queries, seeds, 5, 16)
+    got_computer = DistanceComputer(data)
+    got = batch_search(graph, got_computer, queries, seeds, k=5,
+                       beam_width=16, backend=backend)
+    _assert_identical(ref, got)
+    # accounting is exact in aggregate too, not just per query
+    assert ref_computer.count == got_computer.count
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("chunk_size", [1, 3, 16, 1000])
+def test_chunk_size_invariance(backend, chunk_size):
+    data, graph = _random_world(2)
+    rng = np.random.default_rng(3)
+    queries = rng.standard_normal((23, 8)).astype(np.float32)
+    seeds = [rng.integers(0, graph.n, size=2) for _ in range(23)]
+    computer = DistanceComputer(data)
+    ref = batch_search(graph, computer, queries, seeds, k=4, beam_width=12,
+                       backend=backend, chunk_size=DEFAULT_CHUNK_SIZE)
+    got = batch_search(graph, DistanceComputer(data), queries, seeds, k=4,
+                       beam_width=12, backend=backend, chunk_size=chunk_size)
+    _assert_identical(ref, got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_point_search_matches_reference(backend):
+    data, graph = _random_world(4)
+    rng = np.random.default_rng(5)
+    points = rng.integers(0, graph.n, size=29)
+    seeds = [rng.integers(0, graph.n, size=3) for _ in range(29)]
+    ref_computer = DistanceComputer(data)
+    ref = batch_point_beam_search(graph, ref_computer, points, seeds, k=6,
+                                  beam_width=14)
+    got_computer = DistanceComputer(data)
+    got = batch_point_search(graph, got_computer, points, seeds, k=6,
+                             beam_width=14, backend=backend, chunk_size=7)
+    _assert_identical(ref, got)
+    assert ref_computer.count == got_computer.count
+
+
+def test_scalar_backend_is_reference_path():
+    data, graph = _random_world(6)
+    rng = np.random.default_rng(7)
+    queries = rng.standard_normal((9, 8)).astype(np.float32)
+    seeds = [rng.integers(0, graph.n, size=2) for _ in range(9)]
+    ref = _reference(graph, DistanceComputer(data), queries, seeds, 3, 10)
+    got = batch_search(graph, DistanceComputer(data), queries, seeds, k=3,
+                       beam_width=10, backend="scalar")
+    _assert_identical(ref, got)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_batch_search_matches_scalar_property(seed):
+    """Random worlds with ties: the whole contract, hypothesis-driven."""
+    data, graph = _random_world(seed, n=120, d=4)
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    n_q = int(rng.integers(1, 12))
+    queries = rng.standard_normal((n_q, 4)).astype(np.float32)
+    # bake query-side ties too: some queries equal dataset vectors
+    for j in range(0, n_q, 3):
+        queries[j] = data[int(rng.integers(0, graph.n))]
+    seeds = [rng.integers(0, graph.n, size=int(rng.integers(1, 4)))
+             for _ in range(n_q)]
+    k = int(rng.integers(1, 6))
+    width = k + int(rng.integers(0, 10))
+    ref = _reference(graph, DistanceComputer(data), queries, seeds, k, width)
+    for backend in BACKENDS:
+        got = batch_search(graph, DistanceComputer(data), queries, seeds,
+                           k=k, beam_width=width, backend=backend,
+                           chunk_size=int(rng.integers(1, 14)))
+        _assert_identical(ref, got)
+
+
+# ----------------------------------------------------------------------
+# the per-row merge against the NeighborQueue reference
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_merge_row_replays_neighbor_queue(seed):
+    rng = np.random.default_rng(seed)
+    capacity = int(rng.integers(1, 9))
+    size = int(rng.integers(0, capacity + 1))
+    # sorted unique starting beam (queue semantics forbid duplicate ids)
+    dists = np.full(capacity, np.inf)
+    ids = np.full(capacity, -1, dtype=np.int64)
+    expanded = np.ones(capacity, dtype=bool)
+    start_d = np.sort(rng.choice(np.arange(20), size=size, replace=False)
+                      .astype(np.float64))
+    start_i = rng.choice(np.arange(100), size=size, replace=False).astype(np.int64)
+    dists[:size] = start_d
+    ids[:size] = start_i
+    expanded[:size] = rng.integers(0, 2, size=size).astype(bool)
+
+    n_cand = int(rng.integers(0, 12))
+    # small integer distances force frequent exact ties
+    cand_d = rng.integers(0, 12, size=n_cand).astype(np.float64)
+    cand_i = rng.integers(100, 130, size=n_cand).astype(np.int64)
+
+    queue = NeighborQueue.from_sorted_state(
+        dists[:size], ids[:size], expanded[:size], capacity
+    )
+    for dist, node in zip(cand_d, cand_i):
+        queue.insert(float(dist), int(node))
+
+    new_size = _merge_row(dists, ids, expanded, size, cand_d, cand_i, capacity)
+    assert new_size == queue.size
+    assert np.array_equal(dists[:new_size], queue.dists[:new_size])
+    assert np.array_equal(ids[:new_size], queue.ids[:new_size])
+    assert np.array_equal(expanded[:new_size], queue.expanded[:new_size])
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_batch_search_validates_beam_width():
+    data, graph = _random_world(8)
+    with pytest.raises(ValueError, match="beam_width"):
+        batch_search(graph, DistanceComputer(data),
+                     np.zeros((1, 8), dtype=np.float32), [[0]], k=5,
+                     beam_width=2, backend="python")
+
+
+def test_batch_search_validates_chunk_size():
+    data, graph = _random_world(9)
+    with pytest.raises(ValueError, match="chunk_size"):
+        batch_search(graph, DistanceComputer(data),
+                     np.zeros((1, 8), dtype=np.float32), [[0]], k=1,
+                     beam_width=4, backend="python", chunk_size=0)
+
+
+def test_batch_search_validates_seed_range():
+    data, graph = _random_world(10)
+    with pytest.raises(ValueError, match="outside the graph's node range"):
+        batch_search(graph, DistanceComputer(data),
+                     np.zeros((1, 8), dtype=np.float32), [[graph.n]], k=1,
+                     beam_width=4, backend="python")
+
+
+def test_batch_search_requires_matching_lengths():
+    data, graph = _random_world(11)
+    with pytest.raises(ValueError, match="disagree"):
+        batch_search(graph, DistanceComputer(data),
+                     np.zeros((2, 8), dtype=np.float32), [[0]], k=1,
+                     beam_width=4, backend="python")
+
+
+def test_batch_point_search_validates_seed_range():
+    data, graph = _random_world(12)
+    with pytest.raises(ValueError, match="outside the graph's node range"):
+        batch_point_search(graph, DistanceComputer(data), [0], [[-1]], k=1,
+                           beam_width=4, backend="python")

@@ -140,3 +140,43 @@ def test_seed_query_rng_depends_only_on_query_index(random_graph):
     random_graph.seed_query_rng(5)
     second = random_graph._query_rng.integers(1 << 30, size=4)
     assert np.array_equal(first, second)
+
+
+# ----------------------------------------------------------------------
+# kernel backends through the engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_kernel_backends_answer_identically(workload, random_graph, n_workers):
+    """The vectorized kernel must reproduce the scalar reference path's
+    per-query ids, dists, hops, and distance accounting through run_batch,
+    at any worker count."""
+    _, queries, _ = workload
+    ref = run_batch(random_graph, queries, k=10, beam_width=40,
+                    n_workers=n_workers, kernel="scalar")
+    got = run_batch(random_graph, queries, k=10, beam_width=40,
+                    n_workers=n_workers, kernel="python")
+    for a, b in zip(ref.outcomes, got.outcomes):
+        assert a.query_index == b.query_index
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.dists, b.dists)
+        assert a.distance_calls == b.distance_calls
+        assert a.hops == b.hops
+    assert ref.total_distance_calls == got.total_distance_calls
+
+
+def test_search_batch_matches_search_loop(workload, hnsw, random_graph):
+    """BaseGraphIndex.search_batch (kernel path) vs per-query search()."""
+    _, queries, _ = workload
+    for index in (hnsw, random_graph):
+        indices = np.arange(queries.shape[0])
+        batched = index.search_batch(
+            queries, k=10, beam_width=40, query_indices=indices,
+            kernel="python",
+        )
+        for j, got in enumerate(batched):
+            index.seed_query_rng(j)
+            ref = index.search(queries[j], k=10, beam_width=40)
+            assert np.array_equal(ref.ids, got.ids)
+            assert np.array_equal(ref.dists, got.dists)
+            assert ref.distance_calls == got.distance_calls
+            assert ref.hops == got.hops

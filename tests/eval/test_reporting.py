@@ -35,3 +35,30 @@ def test_report_env_dir(tmp_path, monkeypatch):
     report = Report("unit2")
     report.add("x")
     assert str(report.save()).startswith(str(tmp_path / "env"))
+
+
+def test_report_metadata_lands_in_json(tmp_path):
+    import json
+
+    import numpy as np
+
+    report = Report("unit3", directory=tmp_path)
+    report.add_metadata(kernel="python", workers=np.int64(4))
+    report.add_table(["x"], [[1]])
+    report.save()
+    payload = json.loads((tmp_path / "unit3.json").read_text())
+    assert payload["metadata"] == {"kernel": "python", "workers": 4}
+    # numpy scalars were coerced to json-native types
+    assert type(payload["metadata"]["workers"]) is int
+
+
+def test_report_metadata_alone_triggers_json(tmp_path):
+    report = Report("unit4", directory=tmp_path)
+    report.add("text only")
+    report.add_metadata(scale=0.05)
+    report.save()
+    import json
+
+    payload = json.loads((tmp_path / "unit4.json").read_text())
+    assert payload["metadata"]["scale"] == 0.05
+    assert payload["tables"] == []
