@@ -11,11 +11,17 @@ Environment knobs:
 * ``REPRO_QUERIES`` — queries per workload (default 10; the paper uses 100).
 * ``REPRO_RESULTS_DIR`` — where text reports are archived
   (default ``benchmarks/results``).
+* ``REPRO_TIER_MODE`` — ``disk`` answers the beyond-RAM tiers (25GB/100GB/
+  1B) from a memory-mapped disk tier for the methods that support it
+  (RNG/medoid-only seed selection: Vamana/NSG/SSG/NSW/DPG/KGraph); other
+  methods and the 1M tier stay in RAM.  Default ``ram``.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -25,9 +31,15 @@ from repro.core.incremental import build_ii_graph
 from repro.datasets.synthetic import generate, tier_size
 from repro.eval.metrics import ground_truth
 from repro.indexes import create_index
+from repro.indexes.base import load_disk_index
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
 N_QUERIES = int(os.environ.get("REPRO_QUERIES", "10"))
+TIER_MODE = os.environ.get("REPRO_TIER_MODE", "ram")
+
+#: Tiers whose paper-scale footprint exceeds RAM — the ones ``TIER_MODE``
+#: ``disk`` answers from a memory-mapped disk tier.
+BEYOND_RAM_TIERS = ("25GB", "100GB", "1B")
 
 #: Methods per tier, mirroring the paper's scalability exclusions (§4.4-4.5):
 #: every method runs at 1M; methods that could not build 25GB+ indexes in
@@ -66,6 +78,7 @@ class Store:
 
     def __init__(self):
         self._cache: dict = {}
+        self._tier_root: tempfile.TemporaryDirectory | None = None
 
     def data(self, dataset: str, tier: str) -> np.ndarray:
         key = ("data", dataset, tier)
@@ -89,11 +102,23 @@ class Store:
         return self._cache[key]
 
     def index(self, method: str, dataset: str, tier: str):
-        key = ("index", method, dataset, tier)
+        key = ("index", method, dataset, tier, TIER_MODE)
         if key not in self._cache:
             params = BUILD_PARAMS.get(method, {})
             index = create_index(method, seed=11, **params)
             index.build(self.data(dataset, tier))
+            if (
+                TIER_MODE == "disk"
+                and tier in BEYOND_RAM_TIERS
+                and getattr(index, "disk_tier_capable", False)
+            ):
+                if self._tier_root is None:
+                    self._tier_root = tempfile.TemporaryDirectory(
+                        prefix="repro-disk-tiers-"
+                    )
+                tier_dir = Path(self._tier_root.name) / f"{method}-{dataset}-{tier}"
+                index.to_disk_tier(tier_dir)
+                index = load_disk_index(tier_dir)
             self._cache[key] = index
         return self._cache[key]
 

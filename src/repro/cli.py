@@ -99,10 +99,35 @@ def _cmd_demo(args) -> int:
         f"{index.build_report.distance_calls:,} distance calls, "
         f"{index.memory_bytes() // 1024} KiB"
     )
-    measurement = run_workload(
-        index, queries, truth, args.k, args.beam_width, n_workers=args.workers,
-        kernel=args.kernel,
-    )
+    tier_dir = None
+    if args.tier_mode == "disk":
+        import tempfile
+
+        from .indexes.base import load_disk_index
+
+        if not getattr(index, "disk_tier_capable", False):
+            print(
+                f"error: {index.name} cannot answer from a disk tier "
+                "(seed selection needs raw-vector access); use --tier-mode ram"
+            )
+            return 2
+        tier_dir = tempfile.TemporaryDirectory(prefix="repro-disk-tier-")
+        index.to_disk_tier(tier_dir.name)
+        index = load_disk_index(tier_dir.name)
+        tier = index._disk_tier
+        print(
+            f"disk tier: {tier.resident_bytes() // 1024} KiB resident "
+            f"(PQ codes + codebooks), {tier.file_bytes() // 1024} KiB "
+            f"memory-mapped (graph + raw vectors)"
+        )
+    try:
+        measurement = run_workload(
+            index, queries, truth, args.k, args.beam_width,
+            n_workers=args.workers, kernel=args.kernel,
+        )
+    finally:
+        if tier_dir is not None:
+            tier_dir.cleanup()
     from .core.kernels import resolve_backend
 
     print(f"beam kernel: {resolve_backend(args.kernel)}")
@@ -181,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="beam-search backend for queries (default: $REPRO_KERNEL, else "
         "auto). All backends return bit-identical answers and distance "
         "counts; 'scalar' is the per-query reference loop",
+    )
+    demo.add_argument(
+        "--tier-mode",
+        choices=["ram", "disk"],
+        default="ram",
+        help="'disk' saves the built index as a memory-mapped disk tier and "
+        "answers with PQ-guided traversal + exact re-rank (only methods "
+        "whose seed selection needs no raw vectors: Vamana/NSG/SSG/NSW/"
+        "DPG/KGraph/RandomGraph); 'ram' is the paper's in-memory protocol",
     )
     demo.set_defaults(func=_cmd_demo)
 

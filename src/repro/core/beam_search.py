@@ -22,6 +22,8 @@ __all__ = [
     "SearchResult",
     "prepare_seeds",
     "beam_search",
+    "pq_beam_search",
+    "rerank_topk",
     "batch_point_beam_search",
     "greedy_search",
 ]
@@ -55,9 +57,15 @@ class SearchResult:
     ids, dists:
         The ``k`` best answers found, ascending by distance.
     distance_calls:
-        Distance calculations attributable to this search.
+        Exact distance calculations attributable to this search.
     hops:
         Number of node expansions performed.
+    approx_calls:
+        PQ asymmetric-distance estimates computed (disk tier only; zero on
+        the in-memory exact paths).
+    page_reads:
+        Logical disk rows fetched — graph adjacency rows expanded plus raw
+        vector rows read at re-rank (disk tier only; zero in RAM mode).
     visited, visited_dists:
         Ids (and distances) of every node whose distance was evaluated, in
         evaluation order — builders that connect a new node to its visited
@@ -68,6 +76,8 @@ class SearchResult:
     dists: np.ndarray
     distance_calls: int
     hops: int
+    approx_calls: int = 0
+    page_reads: int = 0
     visited: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
@@ -160,6 +170,96 @@ def beam_search(
         hops=hops,
         visited=visited,
         visited_dists=visited_d,
+    )
+
+
+def rerank_topk(
+    computer, query: np.ndarray, beam_ids: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact re-rank of a final beam: one batched read of the raw vectors.
+
+    Scores ``beam_ids`` with :meth:`PQDistanceComputer.rerank` (counted as
+    exact calls and page reads) and returns the ``k`` best, ties at equal
+    distance broken by ascending id — a total order, so the result is
+    independent of the beam's incoming order.  Shared by the scalar
+    reference path and the vectorized kernel so the two are identical by
+    construction.
+    """
+    beam_ids = np.asarray(beam_ids, dtype=np.int64)
+    exact = computer.rerank(beam_ids, query)
+    order = np.lexsort((beam_ids, exact))[: min(k, beam_ids.size)]
+    return beam_ids[order], exact[order]
+
+
+def pq_beam_search(
+    graph,
+    computer,
+    query: np.ndarray,
+    seeds,
+    k: int,
+    beam_width: int,
+    visited_mask: np.ndarray | None = None,
+) -> SearchResult:
+    """Two-phase disk-tier search: PQ-guided traversal + one exact re-rank.
+
+    The scalar reference path of the beyond-RAM tier.  Algorithm 1 runs
+    exactly as :func:`beam_search`, but every candidate is scored with the
+    asymmetric-distance estimate from ``computer``'s resident PQ codes (one
+    LUT built per query, then pure table gathers) — the memory-mapped files
+    are touched only for graph adjacency rows during traversal and for one
+    batched exact re-rank of the surviving beam at the end.
+
+    ``computer`` is a :class:`~repro.core.distances.PQDistanceComputer`;
+    the returned ``distance_calls`` counts only the exact re-rank, while
+    ``approx_calls`` / ``page_reads`` carry the traversal cost.  All three
+    are deterministic (and bit-identical to the vectorized
+    :func:`~repro.core.kernels.batch_search_pq` path) at any worker count.
+    """
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    mark = computer.checkpoint()
+    if visited_mask is None:
+        visited_mask = np.zeros(graph.n, dtype=bool)
+    else:
+        visited_mask[:] = False
+
+    seeds = prepare_seeds(seeds, graph.n)
+    queue = NeighborQueue(beam_width)
+    lut = computer.build_lut(query)
+
+    seed_dists = computer.lut_to_ids(lut, seeds)
+    visited_mask[seeds] = True
+    for dist, node in zip(seed_dists.tolist(), seeds.tolist()):
+        queue.insert(dist, node)
+
+    hops = 0
+    while True:
+        node = queue.pop_nearest_unexpanded()
+        if node is None:
+            break
+        hops += 1
+        nbrs = graph.neighbors(node)
+        if nbrs.size:
+            fresh = nbrs[~visited_mask[nbrs]]
+            if fresh.size:
+                visited_mask[fresh] = True
+                dists = computer.lut_to_ids(lut, fresh)
+                bound = queue.worst_dist()
+                for dist, nbr in zip(dists.tolist(), fresh.tolist()):
+                    if dist < bound:
+                        bound = queue.insert(dist, nbr)
+
+    computer.note_graph_reads(hops)
+    beam_ids, _ = queue.top_k(beam_width)
+    ids, dists = rerank_topk(computer, query, beam_ids, k)
+    d_exact, d_approx, d_pages = computer.since(mark)
+    return SearchResult(
+        ids=ids,
+        dists=dists,
+        distance_calls=d_exact,
+        hops=hops,
+        approx_calls=d_approx,
+        page_reads=d_pages,
     )
 
 

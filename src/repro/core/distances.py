@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DistanceComputer", "euclidean", "pairwise_euclidean"]
+__all__ = [
+    "DistanceComputer",
+    "PQDistanceComputer",
+    "euclidean",
+    "pairwise_euclidean",
+]
 
 
 def euclidean(a: np.ndarray, b: np.ndarray) -> float:
@@ -288,3 +293,168 @@ class DistanceComputer:
     def memory_bytes(self) -> int:
         """Bytes held by the raw data plus cached norms (float64 copy included)."""
         return self.data.nbytes + self._data64.nbytes + self._sq_norms.nbytes
+
+
+class PQDistanceComputer:
+    """Approximate-distance engine for the beyond-RAM tier.
+
+    Keeps only the product-quantization codes (plus the small codebooks)
+    resident; the raw float32 vectors live in a memory-mapped file and are
+    touched exactly once per query, for the final exact re-rank.  This is the
+    DiskANN-style split: beam traversal is driven by cheap asymmetric-distance
+    (ADC) estimates against resident codes, and correctness is restored by
+    re-ranking the surviving beam with exact distances read from disk.
+
+    Accounting extends the paper's distance-call contract with two more
+    deterministic counters:
+
+    ``count``
+        Exact vector-to-vector Euclidean distances, same semantics as
+        :class:`DistanceComputer.count` — here only the re-rank pays it.
+    ``approx_calls``
+        ADC estimates computed against PQ codes (one per scored code; LUT
+        construction is free, matching how the literature reports it).
+    ``page_reads``
+        *Logical* disk rows fetched: one per graph adjacency row expanded
+        during traversal plus one per raw vector row read at re-rank.  This
+        is a deterministic model-level proxy for I/O — not OS page faults,
+        which depend on cache state — so it is bit-identical at any worker
+        count, chunk size, or kernel backend.
+
+    ``checkpoint``/``since`` mirror the :class:`DistanceComputer` protocol
+    but carry the full ``(count, approx_calls, page_reads)`` triple.
+    """
+
+    __slots__ = ("pq", "codes", "vectors", "n", "dim", "count", "approx_calls", "page_reads")
+
+    def __init__(self, pq, codes: np.ndarray, vectors: np.ndarray):
+        codes = np.ascontiguousarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != pq.n_subspaces:
+            raise ValueError(
+                f"codes must be (n, {pq.n_subspaces}), got shape {codes.shape}"
+            )
+        if vectors.ndim != 2 or vectors.shape != (codes.shape[0], pq.dim):
+            raise ValueError(
+                f"vectors must be ({codes.shape[0]}, {pq.dim}), "
+                f"got shape {vectors.shape}"
+            )
+        self.pq = pq
+        self.codes = codes
+        self.vectors = vectors
+        self.n = codes.shape[0]
+        self.dim = pq.dim
+        self.count = 0
+        self.approx_calls = 0
+        self.page_reads = 0
+
+    # ------------------------------------------------------------------
+    # accounting helpers (triple-counter variants of the exact protocol)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero all three counters."""
+        self.count = 0
+        self.approx_calls = 0
+        self.page_reads = 0
+
+    def checkpoint(self) -> tuple[int, int, int]:
+        """Current ``(count, approx_calls, page_reads)`` (use with :meth:`since`)."""
+        return (self.count, self.approx_calls, self.page_reads)
+
+    def since(self, mark: tuple[int, int, int]) -> tuple[int, int, int]:
+        """Per-counter deltas accumulated since ``mark``."""
+        return (
+            self.count - mark[0],
+            self.approx_calls - mark[1],
+            self.page_reads - mark[2],
+        )
+
+    def note_graph_reads(self, rows: int) -> None:
+        """Charge ``rows`` graph adjacency-row fetches to ``page_reads``.
+
+        The traversal driver calls this once per query with its hop count so
+        the global counter reconciles exactly with the per-query sums.
+        """
+        self.page_reads += int(rows)
+
+    # ------------------------------------------------------------------
+    # approximate (ADC) scoring against resident codes
+    # ------------------------------------------------------------------
+    def build_lut(self, query: np.ndarray) -> np.ndarray:
+        """Per-query ADC lookup table (uncounted; built once per query)."""
+        return self.pq.build_lut(query)
+
+    def lut_to_ids(self, lut: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """ADC distance estimates of dataset rows ``ids`` (counted as approx).
+
+        This is the scalar reference path; :meth:`lut_segmented` is the
+        batched multi-query equivalent and is bitwise identical per element.
+        """
+        ids = np.asarray(ids, dtype=np.intp)
+        self.approx_calls += ids.size
+        return self.pq.lut_distances(lut, self.codes[ids])
+
+    def lut_segmented(
+        self,
+        ids: np.ndarray,
+        seg_starts: np.ndarray,
+        seg_stops: np.ndarray,
+        luts: np.ndarray,
+        lanes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """ADC estimates for a batch of queries' candidate segments.
+
+        ``ids`` holds the concatenated candidate ids of every query in the
+        batch; segment ``j`` (``ids[seg_starts[j]:seg_stops[j]]``) is scored
+        against LUT ``luts[lanes[j]]`` (``luts[j]`` when ``lanes`` is None).
+        The per-element accumulation order — one add per subspace, ascending
+        — matches :meth:`lut_to_ids` exactly, so the vectorized kernel path
+        is bitwise identical to the scalar reference at any batch size.
+        """
+        ids = np.asarray(ids, dtype=np.intp)
+        self.approx_calls += ids.size
+        starts = np.asarray(seg_starts, dtype=np.int64)
+        stops = np.asarray(seg_stops, dtype=np.int64)
+        if lanes is None:
+            lanes = np.arange(starts.shape[0], dtype=np.int64)
+        else:
+            lanes = np.asarray(lanes, dtype=np.int64)
+        if starts.size and starts[0] == 0 and stops[-1] == ids.size and np.array_equal(
+            starts[1:], stops[:-1]
+        ):
+            # segments tile ids contiguously (the kernel's layout): one repeat
+            lane_rep = np.repeat(lanes, stops - starts)
+        else:
+            lane_rep = np.empty(ids.size, dtype=np.int64)
+            for j in range(starts.shape[0]):
+                lane_rep[starts[j] : stops[j]] = lanes[j]
+        codes_sel = self.codes[ids].astype(np.int64, copy=False)
+        total = np.zeros(ids.size, dtype=np.float64)
+        for sub in range(self.pq.n_subspaces):
+            total += luts[lane_rep, sub, codes_sel[:, sub]]
+        np.maximum(total, 0.0, out=total)
+        return np.sqrt(total)
+
+    # ------------------------------------------------------------------
+    # exact re-rank against the memory-mapped raw vectors
+    # ------------------------------------------------------------------
+    def rerank(self, ids: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Exact distances of rows ``ids`` to ``query`` (counted + paged).
+
+        The one place a query touches the raw-vector file: each row fetched
+        costs one exact distance call and one logical page read.  Uses the
+        diff-based float64 expression (not the norm expansion) so results do
+        not depend on any cached norm state — identical everywhere it runs.
+        """
+        ids = np.asarray(ids, dtype=np.intp)
+        self.count += ids.size
+        self.page_reads += ids.size
+        rows = np.asarray(self.vectors[ids], dtype=np.float64)
+        q = np.asarray(query, dtype=np.float64).ravel()
+        diff = rows - q
+        sq = (diff * diff).sum(axis=1)
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq)
+
+    def memory_bytes(self) -> int:
+        """Resident bytes: PQ codes plus codebooks (the mmap is excluded)."""
+        return int(self.codes.nbytes) + int(self.pq.memory_bytes())

@@ -13,9 +13,36 @@ from collections import deque
 
 import numpy as np
 
-__all__ = ["Graph", "CSRGraph", "validate_csr"]
+__all__ = ["Graph", "CSRGraph", "madvise_random", "validate_csr"]
 
 _INT32_MAX = np.iinfo(np.int32).max
+
+
+def madvise_random(array: np.ndarray) -> bool:
+    """Advise the kernel that ``array``'s backing mmap is accessed randomly.
+
+    Graph traversal is pointer-chasing: each hop touches one adjacency row
+    (and each re-rank a handful of vector rows) scattered across the file.
+    Without ``MADV_RANDOM`` the kernel's readahead pages in multi-megabyte
+    windows around every fault, quietly making the "memory-mapped" tier
+    resident after a few dozen queries.  Walks ``.base`` because read-only
+    views (``_frozen``) hide the underlying :class:`numpy.memmap`.  No-op
+    (returns False) for in-memory arrays or platforms without ``madvise``.
+    """
+    import mmap as mmap_module
+
+    if not hasattr(mmap_module, "MADV_RANDOM"):
+        return False
+    backing = array
+    while backing is not None and not hasattr(backing, "_mmap"):
+        backing = getattr(backing, "base", None)
+    if backing is None:
+        return False
+    try:
+        backing._mmap.madvise(mmap_module.MADV_RANDOM)
+    except (AttributeError, OSError, ValueError):
+        return False
+    return True
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
@@ -247,6 +274,43 @@ class CSRGraph:
         is well-formed by construction)."""
         indptr, indices = graph.to_csr()
         return cls(indptr, indices, validate=False)
+
+    @classmethod
+    def mmap(cls, indptr_path, indices_path, validate: bool = False) -> "CSRGraph":
+        """Memory-mapped CSR graph backed by two ``.npy`` files.
+
+        API-identical to the in-memory path: the returned object exposes the
+        same ``n`` / ``neighbors()`` / ``indptr`` / ``indices`` surface, but
+        adjacency rows are paged in from disk on demand — the beyond-RAM
+        tier's graph never becomes resident as a whole.
+
+        ``indptr`` must be stored as int64 (so ``np.asarray`` wraps the
+        memmap without copying — a dtype mismatch would silently materialize
+        the whole file in RAM).  Only the cheap structural invariants are
+        checked by default (shape, first/last offsets), because full
+        :func:`validate_csr` would fault in every page of ``indices``; pass
+        ``validate=True`` to pay that cost when loading untrusted files.
+        """
+        indptr = np.load(indptr_path, mmap_mode="r")
+        indices = np.load(indices_path, mmap_mode="r")
+        madvise_random(indptr)
+        madvise_random(indices)
+        if indptr.dtype != np.int64:
+            raise ValueError(
+                f"mmap CSR indptr must be int64, got {indptr.dtype} "
+                f"(an implicit cast would copy the file into RAM)"
+            )
+        if indptr.ndim != 1 or indptr.shape[0] < 1:
+            raise ValueError(
+                f"mmap CSR indptr must be 1-D and non-empty, got shape {indptr.shape}"
+            )
+        if int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]:
+            raise ValueError(
+                f"corrupt mmap CSR graph: indptr spans "
+                f"[{int(indptr[0])}, {int(indptr[-1])}] but indices has "
+                f"{indices.shape[0]} entries"
+            )
+        return cls(indptr, indices, validate=validate)
 
     def neighbors(self, node: int) -> np.ndarray:
         """Out-neighbors of ``node`` (a read-only view; copy to modify)."""

@@ -56,7 +56,9 @@ from .beam_search import (
     SearchResult,
     batch_point_beam_search,
     beam_search,
+    pq_beam_search,
     prepare_seeds,
+    rerank_topk,
 )
 from .distances import DistanceComputer
 from .graph import CSRGraph
@@ -66,6 +68,7 @@ __all__ = [
     "have_numba",
     "resolve_backend",
     "batch_search",
+    "batch_search_pq",
     "batch_point_search",
 ]
 
@@ -515,6 +518,90 @@ def batch_search(
                 backend,
             )
         )
+    return results
+
+
+def batch_search_pq(
+    graph,
+    computer,
+    queries: np.ndarray,
+    seeds_per_query,
+    k: int,
+    beam_width: int,
+    backend: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list[SearchResult]:
+    """Disk-tier variant of :func:`batch_search`: PQ-guided beam + exact re-rank.
+
+    ``computer`` is a :class:`~repro.core.distances.PQDistanceComputer`.
+    Phase one runs the same lockstep kernel as :func:`batch_search` with one
+    difference — the batched scoring call is a segmented ADC table gather
+    over the resident PQ codes (:meth:`PQDistanceComputer.lut_segmented`),
+    so the traversal touches the memory-mapped files only for graph
+    adjacency rows.  Phase two re-ranks each query's *full* final beam
+    (the kernel is run with ``k = beam_width``) with one batched exact read
+    from the raw-vector mmap, via the same :func:`rerank_topk` helper as the
+    scalar reference path.
+
+    Answers, exact/approx distance-call totals, hop counts, and page-read
+    counts are bit-identical to per-query :func:`pq_beam_search` calls at
+    any ``chunk_size``, worker count, and backend (``"scalar"`` runs the
+    reference path itself).
+    """
+    backend = resolve_backend(backend)
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    queries = np.atleast_2d(np.asarray(queries))
+    seeds_list = [prepare_seeds(seeds, graph.n) for seeds in seeds_per_query]
+    if len(seeds_list) != queries.shape[0]:
+        raise ValueError(
+            f"queries and seeds_per_query disagree: {queries.shape[0]} queries "
+            f"vs {len(seeds_list)} seed lists"
+        )
+    if backend == "scalar":
+        scratch = np.zeros(graph.n, dtype=bool)
+        return [
+            pq_beam_search(
+                graph, computer, query, seeds, k, beam_width,
+                visited_mask=scratch,
+            )
+            for query, seeds in zip(queries, seeds_list)
+        ]
+
+    # one ADC lookup table per query, stacked so the scoring closure is a
+    # single 3-D gather; inf-padding makes ragged codebook sizes safe
+    luts = np.ascontiguousarray([computer.build_lut(query) for query in queries])
+    results: list[SearchResult] = []
+    for start in range(0, len(seeds_list), chunk_size):
+        stop = min(start + chunk_size, len(seeds_list))
+
+        def score(ids, seg_starts, seg_stops, lanes, _start=start):
+            return computer.lut_segmented(
+                ids, seg_starts, seg_stops, luts, _start + lanes
+            )
+
+        # k = beam_width: phase one must surface the whole beam for re-rank
+        beams = _search_chunk(
+            graph, computer, seeds_list[start:stop], score, beam_width,
+            beam_width, backend,
+        )
+        for offset, beam in enumerate(beams):
+            computer.note_graph_reads(beam.hops)
+            ids, dists = rerank_topk(
+                computer, queries[start + offset], beam.ids, k
+            )
+            results.append(
+                SearchResult(
+                    ids=ids,
+                    dists=dists,
+                    distance_calls=int(beam.ids.size),
+                    hops=beam.hops,
+                    approx_calls=beam.distance_calls,
+                    page_reads=beam.hops + int(beam.ids.size),
+                )
+            )
     return results
 
 

@@ -1,38 +1,133 @@
-"""Persistence for proximity graphs.
+"""Persistence for proximity graphs and the beyond-RAM disk tier.
 
 Graphs are the expensive artifact of every method; persisting them lets a
 downstream user build once and reload across sessions (the auxiliary seed
-structures are cheap to re-fit).  The format is a single ``.npz`` holding
-the CSR arrays plus a format version.
+structures are cheap to re-fit).  Two formats live here:
+
+* a single ``.npz`` holding the CSR arrays plus a format version
+  (:func:`save_graph` / :func:`load_graph` / :func:`load_csr_graph`) —
+  version 2 also accepts :class:`~repro.core.graph.CSRGraph` inputs and
+  int64 neighbor ids, for graphs past the int32 edge-count ceiling;
+* a disk-tier directory (:func:`save_disk_tier` / :func:`open_disk_tier`)
+  that stores the CSR arrays and raw float32 vectors as plain ``.npy``
+  files — the one numpy container ``np.load(mmap_mode="r")`` can map
+  without decompressing — next to resident PQ codes and codebooks, so a
+  search touches disk only for graph adjacency rows and the final re-rank.
 """
 
 from __future__ import annotations
 
+import json
+import pickle
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from .graph import Graph
+from .distances import PQDistanceComputer
+from .graph import CSRGraph, Graph, madvise_random
 
-__all__ = ["save_graph", "load_graph"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "load_csr_graph",
+    "save_disk_tier",
+    "open_disk_tier",
+    "DiskTier",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+_TIER_MAGIC = "repro-disk-tier"
+_TIER_VERSION = 1
+_TIER_META = "meta.json"
+_TIER_FILES = {
+    "indptr": "indptr.npy",
+    "indices": "indices.npy",
+    "vectors": "vectors.npy",
+    "codes": "codes.npy",
+    "codebooks": "codebooks.npz",
+    "index": "index.pkl",
+}
 
 
-def save_graph(graph: Graph, path: str | Path) -> Path:
-    """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
+def save_graph(graph: Graph | CSRGraph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` (``.npz`` appended if missing).
+
+    Accepts either adjacency-list :class:`Graph` (flattened through
+    ``to_csr``, which caps indices at int32) or an already-flat
+    :class:`CSRGraph`, whose neighbor dtype — int32 or int64 — is preserved
+    so graphs beyond the int32 edge ceiling round-trip losslessly.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    indptr, indices = graph.to_csr()
+    if isinstance(graph, CSRGraph):
+        indptr, indices = graph.indptr, graph.indices
+    else:
+        indptr, indices = graph.to_csr()
     np.savez_compressed(
         path,
         version=np.asarray([_FORMAT_VERSION]),
         n=np.asarray([graph.n]),
-        indptr=indptr,
-        indices=indices,
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices),
     )
     return path
+
+
+def _read_graph_payload(path: str | Path) -> tuple[int, np.ndarray, np.ndarray]:
+    """Shared loader: open, version-check, and shape-check a graph ``.npz``."""
+    try:
+        payload = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise ValueError(
+            f"cannot read graph file {Path(path)}: not an .npz archive "
+            f"written by save_graph ({exc})"
+        ) from exc
+    with payload:
+        if "version" not in payload:
+            raise ValueError(
+                f"unversioned graph file {Path(path)}: written before the "
+                f"format header existed — rebuild and re-save the graph"
+            )
+        version = int(payload["version"][0])
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported graph format version {version} "
+                f"(supported: {', '.join(map(str, _SUPPORTED_VERSIONS))})"
+            )
+        missing = [key for key in ("n", "indptr", "indices") if key not in payload]
+        if missing:
+            raise ValueError(
+                f"corrupt graph file {Path(path)}: missing arrays {missing}"
+            )
+        n = int(payload["n"][0])
+        indptr = payload["indptr"]
+        indices = payload["indices"]
+    if n < 0:
+        raise ValueError(f"corrupt graph file: negative node count {n}")
+    if indptr.shape[0] != n + 1:
+        raise ValueError(
+            f"corrupt graph file: indptr has {indptr.shape[0]} entries, "
+            f"expected n + 1 = {n + 1}"
+        )
+    return n, indptr, indices
+
+
+def load_csr_graph(path: str | Path) -> CSRGraph:
+    """Read a graph written by :func:`save_graph` as a flat :class:`CSRGraph`.
+
+    Same validation as :func:`load_graph` but skips the adjacency-list
+    materialization — the natural form for the disk tier and the vectorized
+    kernels, and the only loss-free one for int64-indexed graphs.
+    """
+    _, indptr, indices = _read_graph_payload(path)
+    try:
+        return CSRGraph(indptr, indices)
+    except ValueError as exc:
+        raise ValueError(f"corrupt graph file {Path(path)}: {exc}") from exc
 
 
 def load_graph(path: str | Path) -> Graph:
@@ -45,24 +140,183 @@ def load_graph(path: str | Path) -> Graph:
     (``Graph.from_csr``, one ``np.split`` over a single int64 copy) because
     the parallel batch-query engine reloads graphs in every worker.
     """
-    with np.load(path) as payload:
-        version = int(payload["version"][0])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported graph format version {version} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        n = int(payload["n"][0])
-        indptr = payload["indptr"]
-        indices = payload["indices"]
-    if n < 0:
-        raise ValueError(f"corrupt graph file: negative node count {n}")
-    if indptr.shape[0] != n + 1:
-        raise ValueError(
-            f"corrupt graph file: indptr has {indptr.shape[0]} entries, "
-            f"expected n + 1 = {n + 1}"
-        )
+    _, indptr, indices = _read_graph_payload(path)
     try:
         return Graph.from_csr(indptr, indices)
     except ValueError as exc:
         raise ValueError(f"corrupt graph file {Path(path)}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# disk tier: mmap-able directory format
+# ----------------------------------------------------------------------
+@dataclass
+class DiskTier:
+    """An opened disk-tier directory.
+
+    ``graph`` and ``vectors`` are memory-mapped (unless opened with
+    ``mmap=False``); ``computer`` holds the resident PQ codes/codebooks and
+    owns the ``count`` / ``approx_calls`` / ``page_reads`` accounting.
+    """
+
+    directory: Path
+    graph: CSRGraph
+    vectors: np.ndarray
+    computer: PQDistanceComputer
+    meta: dict = field(repr=False)
+
+    def resident_bytes(self) -> int:
+        """Bytes that must stay in RAM: PQ codes plus codebooks."""
+        return self.computer.memory_bytes()
+
+    def file_bytes(self) -> int:
+        """On-disk bytes of the memory-mapped files (graph + raw vectors)."""
+        return sum(
+            (self.directory / _TIER_FILES[key]).stat().st_size
+            for key in ("indptr", "indices", "vectors")
+        )
+
+    def load_index(self):
+        """Unpickle the index payload saved alongside the tier, if any."""
+        path = self.directory / _TIER_FILES["index"]
+        if not path.exists():
+            raise FileNotFoundError(
+                f"disk tier {self.directory} was saved without an index payload"
+            )
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+
+def save_disk_tier(
+    directory: str | Path,
+    graph: Graph | CSRGraph,
+    data: np.ndarray,
+    pq,
+    codes: np.ndarray,
+    index=None,
+) -> Path:
+    """Write a beyond-RAM search tier to ``directory``.
+
+    Layout (all arrays as raw ``.npy`` so they can be ``np.memmap``-ed):
+
+    * ``indptr.npy`` / ``indices.npy`` — the CSR proximity graph (int64
+      offsets; neighbor dtype preserved);
+    * ``vectors.npy`` — raw float32 dataset rows, read only at re-rank;
+    * ``codes.npy`` / ``codebooks.npz`` — the resident PQ summary;
+    * ``index.pkl`` — optional pickled index object (its dataset-sized
+      state stripped; reattached via ``attach_disk_tier``);
+    * ``meta.json`` — magic, format version, shapes and dtypes, checked
+      before anything is mapped.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if isinstance(graph, CSRGraph):
+        indptr, indices = graph.indptr, graph.indices
+    else:
+        indptr, indices = graph.to_csr()
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices)
+    data = np.ascontiguousarray(data, dtype=np.float32)
+    codes = np.ascontiguousarray(codes)
+    n = indptr.shape[0] - 1
+    if data.ndim != 2 or data.shape[0] != n:
+        raise ValueError(
+            f"graph has {n} nodes but data has shape {data.shape}"
+        )
+    if codes.shape != (n, pq.n_subspaces):
+        raise ValueError(
+            f"codes must be ({n}, {pq.n_subspaces}), got shape {codes.shape}"
+        )
+    if data.shape[1] != pq.dim:
+        raise ValueError(
+            f"data has dimensionality {data.shape[1]} but the product "
+            f"quantizer was fit for {pq.dim}"
+        )
+    np.save(directory / _TIER_FILES["indptr"], indptr)
+    np.save(directory / _TIER_FILES["indices"], indices)
+    np.save(directory / _TIER_FILES["vectors"], data)
+    np.save(directory / _TIER_FILES["codes"], codes)
+    np.savez(
+        directory / _TIER_FILES["codebooks"],
+        **{f"book_{sub}": book for sub, book in enumerate(pq.codebooks)},
+    )
+    if index is not None:
+        with open(directory / _TIER_FILES["index"], "wb") as handle:
+            pickle.dump(index, handle)
+    meta = {
+        "magic": _TIER_MAGIC,
+        "version": _TIER_VERSION,
+        "n": int(n),
+        "dim": int(data.shape[1]),
+        "n_edges": int(indices.shape[0]),
+        "indices_dtype": str(indices.dtype),
+        "codes_dtype": str(codes.dtype),
+        "pq_subspaces": int(pq.n_subspaces),
+        "has_index": index is not None,
+    }
+    with open(directory / _TIER_META, "w") as handle:
+        json.dump(meta, handle, indent=2)
+    return directory
+
+
+def open_disk_tier(directory: str | Path, mmap: bool = True) -> DiskTier:
+    """Open a directory written by :func:`save_disk_tier`.
+
+    With ``mmap=True`` (the default) the graph and raw vectors are
+    memory-mapped — validation stays O(1) so opening never faults in the
+    large files.  ``mmap=False`` loads everything into RAM, API-identical,
+    for equivalence testing and small configs.
+    """
+    directory = Path(directory)
+    meta_path = directory / _TIER_META
+    if not meta_path.exists():
+        raise ValueError(
+            f"{directory} is not a disk-tier directory (no {_TIER_META})"
+        )
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    if meta.get("magic") != _TIER_MAGIC:
+        raise ValueError(
+            f"{directory} is not a disk-tier directory "
+            f"(magic {meta.get('magic')!r}, expected {_TIER_MAGIC!r})"
+        )
+    version = meta.get("version")
+    if version != _TIER_VERSION:
+        raise ValueError(
+            f"unsupported disk-tier format version {version} "
+            f"(expected {_TIER_VERSION})"
+        )
+    # resident pieces are loaded eagerly; the big arrays stay on disk
+    codes = np.load(directory / _TIER_FILES["codes"])
+    with np.load(directory / _TIER_FILES["codebooks"]) as books:
+        codebooks = [books[f"book_{sub}"] for sub in range(meta["pq_subspaces"])]
+    # local import: summarization sits above core in the package layering
+    from ..summarization.quantization import ProductQuantizer
+
+    pq = ProductQuantizer(codebooks, meta["dim"])
+    if mmap:
+        graph = CSRGraph.mmap(
+            directory / _TIER_FILES["indptr"], directory / _TIER_FILES["indices"]
+        )
+        vectors = np.load(directory / _TIER_FILES["vectors"], mmap_mode="r")
+        madvise_random(vectors)
+    else:
+        graph = CSRGraph(
+            np.load(directory / _TIER_FILES["indptr"]),
+            np.load(directory / _TIER_FILES["indices"]),
+        )
+        vectors = np.load(directory / _TIER_FILES["vectors"])
+    if graph.n != meta["n"] or graph.num_edges() != meta["n_edges"]:
+        raise ValueError(
+            f"corrupt disk tier {directory}: graph has {graph.n} nodes / "
+            f"{graph.num_edges()} edges, meta says {meta['n']} / {meta['n_edges']}"
+        )
+    if vectors.shape != (meta["n"], meta["dim"]):
+        raise ValueError(
+            f"corrupt disk tier {directory}: vectors shape {vectors.shape} "
+            f"does not match meta ({meta['n']}, {meta['dim']})"
+        )
+    computer = PQDistanceComputer(pq, codes, vectors)
+    return DiskTier(
+        directory=directory, graph=graph, vectors=vectors, computer=computer, meta=meta
+    )

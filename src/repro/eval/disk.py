@@ -1,0 +1,185 @@
+"""Peak-RSS measurement for the beyond-RAM tier.
+
+The disk tier's whole point is that the graph and raw vectors never become
+resident.  Proving that from inside the builder process is hopeless — the
+parent has already materialized the full dataset to build the index — so
+the search phase is probed in a fresh ``spawn`` subprocess that only ever
+sees the on-disk tier directory.  Its ``ru_maxrss`` high-water mark then
+reflects exactly what disk-tier search keeps resident: the interpreter +
+numpy baseline, the PQ codes and codebooks, and whatever mmap pages the
+traversal actually touched.
+
+No third-party dependency is needed: :mod:`resource` ships with CPython on
+every POSIX platform this repo targets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+
+import numpy as np
+
+__all__ = ["peak_rss_bytes", "probe_disk_search", "reset_peak_rss"]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes.
+
+    On Linux this reads ``VmHWM`` from ``/proc/self/status`` — the
+    per-address-space high-water mark, which is reset by ``exec`` and by
+    :func:`reset_peak_rss`.  ``getrusage``'s ``ru_maxrss`` is deliberately
+    only a fallback: the kernel keeps it in the signal struct, where it
+    *survives* ``fork`` + ``exec``, so a freshly spawned child reports its
+    parent's peak — useless for isolating the child's own footprint.
+    (``ru_maxrss`` is KiB on Linux, bytes on macOS.)
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+def reset_peak_rss() -> bool:
+    """Reset ``VmHWM`` to the current RSS (Linux only).
+
+    Writing ``5`` to ``/proc/self/clear_refs`` (documented in ``proc(5)``)
+    drops the high-water mark back to the process's *current* RSS so
+    subsequent :func:`peak_rss_bytes` readings measure only what happens
+    next.  Returns whether the reset was possible.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def _drop_file_cache(directory) -> bool:
+    """Evict the tier's files from the OS page cache (Linux only).
+
+    The benchmark builds the tier moments before probing it, so its files
+    are still hot in the page cache — and a page fault against a *cached*
+    file maps whole cached folios into the process, inflating RSS far past
+    what the traversal actually reads and ignoring ``MADV_RANDOM`` (which
+    only curbs disk readahead).  A genuinely beyond-RAM tier would be cold;
+    ``POSIX_FADV_DONTNEED`` recreates that honestly.  Returns whether the
+    eviction was possible.
+    """
+    import pathlib
+
+    if not hasattr(os, "posix_fadvise"):
+        return False
+    done = True
+    for path in sorted(pathlib.Path(directory).glob("*.np[yz]")):
+        try:
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                # freshly written pages are dirty; DONTNEED silently skips
+                # them unless they are flushed first
+                os.fsync(fd)
+                os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+            finally:
+                os.close(fd)
+        except OSError:
+            done = False
+    return done
+
+
+def _probe_child(directory, queries, k, beam_width, kernel, conn) -> None:
+    """Subprocess body: open the tier, answer the batch, report RSS.
+
+    ``baseline`` is captured before the tier is opened (after resetting the
+    inherited high-water mark), so ``peak - baseline`` isolates the search
+    phase's resident footprint from the ~30MB interpreter + numpy floor a
+    trivial python process already pays.
+    """
+    try:
+        from ..indexes.base import load_disk_index
+        from .parallel import run_batch
+
+        cache_dropped = _drop_file_cache(directory)
+        rss_reset = reset_peak_rss()
+        baseline = peak_rss_bytes()
+        index = load_disk_index(directory)
+        tier = index._disk_tier
+        batch = run_batch(
+            index, queries, k=k, beam_width=beam_width, n_workers=1,
+            kernel=kernel,
+        )
+        conn.send((
+            "ok",
+            {
+                "ids": [np.asarray(o.ids) for o in batch.outcomes],
+                "total_distance_calls": batch.total_distance_calls,
+                "total_approx_calls": batch.total_approx_calls,
+                "total_page_reads": batch.total_page_reads,
+                "wall_time_s": batch.wall_time_s,
+                "qps": batch.qps,
+                "resident_bytes": tier.resident_bytes(),
+                "file_bytes": tier.file_bytes(),
+                "baseline_rss_bytes": baseline,
+                "peak_rss_bytes": peak_rss_bytes(),
+                "rss_reset": rss_reset,
+                "cache_dropped": cache_dropped,
+            },
+        ))
+    except Exception as exc:  # surfaced as RuntimeError in the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def probe_disk_search(
+    directory,
+    queries: np.ndarray,
+    k: int,
+    beam_width: int,
+    kernel: str | None = None,
+    timeout_s: float = 600.0,
+) -> dict:
+    """Answer ``queries`` against a disk tier in an isolated subprocess.
+
+    Returns a dict with the batch's answer ids, the three exact counters,
+    wall time / QPS, the tier's resident and file sizes, and the child's
+    baseline and peak RSS in bytes.  ``peak_rss_bytes - baseline_rss_bytes``
+    is the search phase's memory bill; compare it against a budget derived
+    from ``file_bytes`` to demonstrate beyond-RAM operation.
+
+    The child is started with the ``spawn`` method so it inherits nothing
+    from the parent's address space (``fork`` would carry the parent's
+    resident dataset into the child's RSS accounting).
+    """
+    ctx = mp.get_context("spawn")
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_probe_child,
+        args=(str(directory), np.asarray(queries), k, beam_width, kernel,
+              send_conn),
+    )
+    proc.start()
+    send_conn.close()
+    try:
+        if not recv_conn.poll(timeout_s):
+            raise TimeoutError(
+                f"disk-tier probe produced no result within {timeout_s:.0f}s"
+            )
+        status, payload = recv_conn.recv()
+    finally:
+        proc.join(timeout=30.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+        recv_conn.close()
+    if status != "ok":
+        raise RuntimeError(f"disk-tier probe failed in subprocess: {payload}")
+    return payload

@@ -40,7 +40,14 @@ __all__ = ["QueryOutcome", "BatchResult", "SharedArrayPack", "run_batch"]
 
 @dataclass
 class QueryOutcome:
-    """Answer and accounting for one query of a batch."""
+    """Answer and accounting for one query of a batch.
+
+    ``approx_calls``/``page_reads`` are nonzero only in disk-tier mode:
+    PQ asymmetric estimates scored and logical disk rows fetched (graph
+    adjacency rows + re-rank vector rows).  Like ``distance_calls`` they
+    are measured as counter deltas, so they are bit-identical at any
+    worker count.
+    """
 
     query_index: int
     ids: np.ndarray
@@ -48,6 +55,8 @@ class QueryOutcome:
     distance_calls: int
     hops: int
     time_s: float
+    approx_calls: int = 0
+    page_reads: int = 0
 
 
 @dataclass
@@ -62,6 +71,16 @@ class BatchResult:
     def total_distance_calls(self) -> int:
         """Aggregate distance calculations across the batch (exact)."""
         return sum(outcome.distance_calls for outcome in self.outcomes)
+
+    @property
+    def total_approx_calls(self) -> int:
+        """Aggregate PQ asymmetric-distance estimates (disk tier; exact)."""
+        return sum(outcome.approx_calls for outcome in self.outcomes)
+
+    @property
+    def total_page_reads(self) -> int:
+        """Aggregate logical disk-row fetches (disk tier; exact)."""
+        return sum(outcome.page_reads for outcome in self.outcomes)
 
     @property
     def qps(self) -> float:
@@ -117,6 +136,8 @@ def _worker_run_chunk(query_indices: np.ndarray) -> list[tuple]:
             outcome.distance_calls,
             outcome.hops,
             outcome.time_s,
+            outcome.approx_calls,
+            outcome.page_reads,
         )
         for outcome in outcomes
     ]
@@ -164,6 +185,8 @@ def _answer_chunk(
             distance_calls=result.distance_calls,
             hops=result.hops,
             time_s=per_query_s,
+            approx_calls=result.approx_calls,
+            page_reads=result.page_reads,
         )
         for query_index, result in zip(query_indices, results)
     ]
@@ -188,6 +211,8 @@ def _answer_one(
         distance_calls=result.distance_calls,
         hops=result.hops,
         time_s=elapsed,
+        approx_calls=result.approx_calls,
+        page_reads=result.page_reads,
     )
 
 

@@ -35,20 +35,37 @@ def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
 
 def format_query_stats(measurement) -> str:
     """Render a :class:`~repro.eval.runner.QueryMeasurement` latency/throughput
-    summary (the ``--stats`` output of the CLI demo)."""
+    summary (the ``--stats`` output of the CLI demo).
+
+    Disk-tier counters (PQ estimates, logical page reads) appear only when
+    the workload actually ran against a disk tier — RAM-mode output is
+    unchanged.
+    """
+    rows = [
+        ["recall", measurement.recall],
+        ["mean dist calls/query", measurement.mean_distance_calls],
+        ["total dist calls", measurement.total_distance_calls],
+    ]
+    if getattr(measurement, "total_approx_calls", 0) or getattr(
+        measurement, "total_page_reads", 0
+    ):
+        rows += [
+            ["mean approx calls/query", measurement.mean_approx_calls],
+            ["total approx calls", measurement.total_approx_calls],
+            ["mean page reads/query", measurement.mean_page_reads],
+            ["total page reads", measurement.total_page_reads],
+        ]
+    rows += [
+        ["mean latency (ms)", 1000 * measurement.mean_time_s],
+        ["p50 latency (ms)", 1000 * measurement.p50_time_s],
+        ["p95 latency (ms)", 1000 * measurement.p95_time_s],
+        ["p99 latency (ms)", 1000 * measurement.p99_time_s],
+        ["throughput (QPS)", measurement.qps],
+        ["workers", measurement.n_workers],
+    ]
     return format_table(
         ["metric", "value"],
-        [
-            ["recall", measurement.recall],
-            ["mean dist calls/query", measurement.mean_distance_calls],
-            ["total dist calls", measurement.total_distance_calls],
-            ["mean latency (ms)", 1000 * measurement.mean_time_s],
-            ["p50 latency (ms)", 1000 * measurement.p50_time_s],
-            ["p95 latency (ms)", 1000 * measurement.p95_time_s],
-            ["p99 latency (ms)", 1000 * measurement.p99_time_s],
-            ["throughput (QPS)", measurement.qps],
-            ["workers", measurement.n_workers],
-        ],
+        rows,
         title=f"query stats @ beam width {measurement.beam_width}",
     )
 

@@ -64,6 +64,12 @@ class QueryMeasurement:
     total_distance_calls: int = 0
     wall_time_s: float = 0.0
     n_workers: int = 1
+    # disk-tier accounting (zero on the in-memory exact paths): PQ estimates
+    # scored and logical disk rows fetched, deterministic at any worker count
+    mean_approx_calls: float = 0.0
+    mean_page_reads: float = 0.0
+    total_approx_calls: int = 0
+    total_page_reads: int = 0
 
 
 @dataclass
@@ -137,6 +143,8 @@ def run_workload(
     calls = [outcome.distance_calls for outcome in batch.outcomes]
     hops = [outcome.hops for outcome in batch.outcomes]
     times = [outcome.time_s for outcome in batch.outcomes]
+    approx = [outcome.approx_calls for outcome in batch.outcomes]
+    pages = [outcome.page_reads for outcome in batch.outcomes]
     return QueryMeasurement(
         beam_width=beam_width,
         recall=float(np.mean(recalls)),
@@ -150,6 +158,10 @@ def run_workload(
         total_distance_calls=batch.total_distance_calls,
         wall_time_s=batch.wall_time_s,
         n_workers=batch.n_workers,
+        mean_approx_calls=float(np.mean(approx)),
+        mean_page_reads=float(np.mean(pages)),
+        total_approx_calls=batch.total_approx_calls,
+        total_page_reads=batch.total_page_reads,
     )
 
 

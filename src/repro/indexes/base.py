@@ -22,11 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.beam_search import SearchResult, beam_search
+from ..core.beam_search import SearchResult, beam_search, pq_beam_search
 from ..core.distances import DistanceComputer
 from ..core.graph import CSRGraph, Graph
 
-__all__ = ["BuildReport", "BaseIndex", "BaseGraphIndex"]
+__all__ = ["BuildReport", "BaseIndex", "BaseGraphIndex", "load_disk_index"]
 
 
 @dataclass
@@ -158,6 +158,13 @@ class BaseIndex(abc.ABC):
 class BaseGraphIndex(BaseIndex):
     """Graph-backed methods: beam search over ``self.graph`` with seeds."""
 
+    #: Whether this method can answer from a disk-resident tier.  True only
+    #: for methods whose seed selection needs no raw-vector access (random
+    #: seeds and/or a pickled medoid); methods that probe trees/LSH tables
+    #: against exact vectors at seed time (HNSW, NGT, SPTAG, EFANNA, HCNNG,
+    #: IEH, ELPIS, LSHAPG) must stay in RAM mode.
+    disk_tier_capable: bool = False
+
     def __init__(self, seed: int = 0, default_beam_width: int = 64):
         super().__init__(seed)
         if default_beam_width < 1:
@@ -168,6 +175,10 @@ class BaseGraphIndex(BaseIndex):
         # (source graph, CSRGraph flattening) for the batch kernel; keyed by
         # identity so a rebuild invalidates it
         self._csr_cache: tuple | None = None
+        # disk-tier state: the opened tier (never pickled) and its directory
+        # (pickled, so worker processes can re-open the mmap themselves)
+        self._disk_tier = None
+        self._disk_tier_dir: str | None = None
 
     @abc.abstractmethod
     def _query_seeds(self, query: np.ndarray) -> np.ndarray:
@@ -177,6 +188,8 @@ class BaseGraphIndex(BaseIndex):
         self, query: np.ndarray, k: int = 10, beam_width: int | None = None
     ) -> SearchResult:
         """Algorithm 1 on the method's graph, seeded by its SS strategy."""
+        if self._disk_tier is not None:
+            return self._search_disk(query, k, beam_width)
         computer = self._require_built()
         if self.graph is None:
             raise RuntimeError(f"{self.name}: graph missing; build() first")
@@ -199,6 +212,31 @@ class BaseGraphIndex(BaseIndex):
         result.distance_calls = computer.since(mark)
         return result
 
+    def _search_disk(
+        self, query: np.ndarray, k: int, beam_width: int | None
+    ) -> SearchResult:
+        """Disk-tier scalar path: PQ-guided traversal + one exact re-rank.
+
+        Seed selection runs unchanged (disk-capable methods draw seeds from
+        RNG state and pickled entry points only — no raw-vector reads), then
+        :func:`~repro.core.beam_search.pq_beam_search` traverses with ADC
+        estimates against the resident codes and re-ranks the final beam
+        from the memory-mapped raw vectors.
+        """
+        width = max(beam_width or max(self.default_beam_width, k), k)
+        seeds = self._query_seeds(query)
+        if self._visited_scratch is None or self._visited_scratch.size != self.graph.n:
+            self._visited_scratch = np.zeros(self.graph.n, dtype=bool)
+        return pq_beam_search(
+            self.graph,
+            self.computer,
+            query,
+            seeds,
+            k=k,
+            beam_width=width,
+            visited_mask=self._visited_scratch,
+        )
+
     def search_batch(
         self,
         queries: np.ndarray,
@@ -218,9 +256,28 @@ class BaseGraphIndex(BaseIndex):
         standard beam path), and the ``scalar`` kernel backend, fall back to
         the per-query reference loop.
         """
-        from ..core.kernels import batch_search, resolve_backend
+        from ..core.kernels import batch_search, batch_search_pq, resolve_backend
 
         backend = resolve_backend(kernel)
+        if self._disk_tier is not None:
+            if backend == "scalar":
+                # per-query reference loop; search() routes to the disk path
+                return BaseIndex.search_batch(
+                    self, queries, k=k, beam_width=beam_width,
+                    query_indices=query_indices,
+                )
+            queries = np.atleast_2d(np.asarray(queries))
+            width = max(beam_width or max(self.default_beam_width, k), k)
+            seeds_per_query = []
+            for j in range(queries.shape[0]):
+                if query_indices is not None:
+                    self.seed_query_rng(int(query_indices[j]))
+                # disk-capable seed selection costs no distance work
+                seeds_per_query.append(self._query_seeds(queries[j]))
+            return batch_search_pq(
+                self.graph, self.computer, queries, seeds_per_query,
+                k=k, beam_width=width, backend=backend,
+            )
         if backend == "scalar" or type(self).search is not BaseGraphIndex.search:
             return super().search_batch(
                 queries, k=k, beam_width=beam_width, query_indices=query_indices
@@ -268,8 +325,85 @@ class BaseGraphIndex(BaseIndex):
         """Graph adjacency bytes; subclasses add their seed structures."""
         return self.graph.memory_bytes() if self.graph is not None else 0
 
+    # ------------------------------------------------------------------
+    # beyond-RAM tier
+    # ------------------------------------------------------------------
+    def to_disk_tier(
+        self,
+        directory,
+        pq_subspaces: int = 16,
+        pq_centroids: int = 256,
+        rng: np.random.Generator | None = None,
+    ):
+        """Persist this built index as a disk-resident search tier.
+
+        Writes the CSR graph and raw float32 vectors as mmap-able files,
+        trains/encodes a product quantizer over the dataset (``pq_subspaces``
+        and ``pq_centroids`` are soft preferences, rounded down to a valid
+        configuration), and pickles the index skeleton alongside so
+        :func:`load_disk_index` restores a searchable index without the
+        dataset ever becoming resident.  Returns the directory path.
+        """
+        from ..core.serialization import save_disk_tier
+        from ..summarization.quantization import (
+            ProductQuantizer,
+            largest_subspace_count,
+        )
+
+        if not self.disk_tier_capable:
+            raise NotImplementedError(
+                f"{self.name} needs raw-vector access at query-seed time and "
+                f"cannot answer from a disk tier"
+            )
+        computer = self._require_built()
+        if self.graph is None:
+            raise RuntimeError(f"{self.name}: graph missing; build() first")
+        if rng is None:
+            rng = np.random.default_rng(self.seed ^ 0xD15C)
+        pq = ProductQuantizer.fit(
+            computer.data,
+            n_subspaces=largest_subspace_count(computer.dim, pq_subspaces),
+            n_centroids=min(pq_centroids, computer.n),
+            rng=rng,
+        )
+        codes = pq.encode(computer.data)
+        return save_disk_tier(
+            directory, self._kernel_graph(), computer.data, pq, codes, index=self
+        )
+
+    def attach_disk_tier(self, tier) -> None:
+        """Switch this index to answer from an opened disk tier.
+
+        Replaces the distance engine with the tier's
+        :class:`~repro.core.distances.PQDistanceComputer` (which carries the
+        ``n`` surface seed selection consumes, plus the ``approx_calls`` /
+        ``page_reads`` accounting) and the graph with the tier's mmap-backed
+        CSR view.  All subsequent ``search``/``search_batch`` calls run the
+        two-phase PQ + exact-re-rank path.
+        """
+        if not self.disk_tier_capable:
+            raise NotImplementedError(
+                f"{self.name} needs raw-vector access at query-seed time and "
+                f"cannot answer from a disk tier"
+            )
+        self._disk_tier = tier
+        self._disk_tier_dir = str(tier.directory)
+        self.computer = tier.computer
+        self.graph = tier.graph
+        self._visited_scratch = None
+        self._csr_cache = None
+
     def shared_query_state(self) -> dict[str, np.ndarray]:
-        """Dataset arrays plus the graph flattened to CSR."""
+        """Dataset arrays plus the graph flattened to CSR.
+
+        In disk-tier mode nothing index-sized goes to shared memory: each
+        worker re-opens the tier directory itself (the mmaps share pages
+        through the OS page cache; only the resident PQ codes are duplicated
+        per worker — a deliberate tradeoff that keeps worker startup free of
+        large pickles).
+        """
+        if self._disk_tier is not None:
+            return {}
         state = super().shared_query_state()
         if self.graph is not None:
             if isinstance(self.graph, CSRGraph):
@@ -281,7 +415,17 @@ class BaseGraphIndex(BaseIndex):
         return state
 
     def attach_shared_query_state(self, arrays: dict[str, np.ndarray]) -> None:
-        """Rebind the dataset and mount the graph as a zero-copy CSR view."""
+        """Rebind the dataset and mount the graph as a zero-copy CSR view.
+
+        A disk-tier index re-opens its tier directory instead — the graph
+        and raw vectors come back as memory maps, and the worker gets its
+        own PQ computer (and thus its own independent counters).
+        """
+        if self._disk_tier_dir is not None:
+            from ..core.serialization import open_disk_tier
+
+            self.attach_disk_tier(open_disk_tier(self._disk_tier_dir))
+            return
         super().attach_shared_query_state(arrays)
         if "csr_indptr" in arrays:
             self.graph = CSRGraph(
@@ -291,11 +435,17 @@ class BaseGraphIndex(BaseIndex):
         self._csr_cache = None
 
     def __getstate__(self) -> dict:
-        """Pickle without graph/scratch; workers re-attach the CSR view."""
+        """Pickle without graph/scratch; workers re-attach the CSR view.
+
+        ``_disk_tier_dir`` survives pickling (it is how a worker finds the
+        tier again); the opened tier itself — mmap handles and resident
+        codes — never does.
+        """
         state = super().__getstate__()
         state["graph"] = None
         state["_visited_scratch"] = None
         state["_csr_cache"] = None
+        state["_disk_tier"] = None
         return state
 
     def degree_stats(self) -> dict[str, float]:
@@ -308,3 +458,24 @@ class BaseGraphIndex(BaseIndex):
             "max": float(degrees.max()) if degrees.size else 0.0,
             "min": float(degrees.min()) if degrees.size else 0.0,
         }
+
+
+def load_disk_index(directory, mmap: bool = True) -> BaseGraphIndex:
+    """Restore a searchable index from a disk-tier directory.
+
+    Opens the tier (graph + raw vectors memory-mapped by default), unpickles
+    the index skeleton saved by :meth:`BaseGraphIndex.to_disk_tier`, and
+    attaches the tier — the dataset never becomes resident.  The returned
+    index answers through the two-phase PQ + exact-re-rank path.
+    """
+    from ..core.serialization import open_disk_tier
+
+    tier = open_disk_tier(directory, mmap=mmap)
+    index = tier.load_index()
+    if not isinstance(index, BaseGraphIndex):
+        raise TypeError(
+            f"disk tier {directory} holds a {type(index).__name__}, "
+            f"not a graph index"
+        )
+    index.attach_disk_tier(tier)
+    return index

@@ -25,6 +25,8 @@ class DPGIndex(BaseGraphIndex):
     """KGraph base + MOND diversification + undirected closure."""
 
     name = "DPG"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

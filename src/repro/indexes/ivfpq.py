@@ -16,7 +16,7 @@ import numpy as np
 
 from ..clustering.kmeans import kmeans
 from ..core.beam_search import SearchResult
-from ..summarization.quantization import ProductQuantizer
+from ..summarization.quantization import ProductQuantizer, largest_subspace_count
 from .base import BaseIndex
 
 __all__ = ["IVFIndex"]
@@ -66,10 +66,12 @@ class IVFIndex(BaseIndex):
             for cluster in range(n_lists)
         ]
         if self.use_pq:
+            # ``pq_subspaces``/``pq_centroids`` are soft preferences here:
+            # round down to a valid configuration for this dataset's shape
             self._pq = ProductQuantizer.fit(
                 computer.data,
-                n_subspaces=min(self.pq_subspaces, computer.dim),
-                n_centroids=self.pq_centroids,
+                n_subspaces=largest_subspace_count(computer.dim, self.pq_subspaces),
+                n_centroids=min(self.pq_centroids, computer.n),
                 rng=rng,
             )
             self._codes = self._pq.encode(computer.data)

@@ -21,6 +21,8 @@ class KGraphIndex(BaseGraphIndex):
     """NNDescent-refined random k-NN graph with KS query seeds."""
 
     name = "KGraph"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

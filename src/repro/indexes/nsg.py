@@ -29,6 +29,8 @@ class NSGIndex(BaseGraphIndex):
     """EFANNA base + per-node beam-search candidates + RND + DFS repair."""
 
     name = "NSG"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

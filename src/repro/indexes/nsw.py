@@ -22,6 +22,8 @@ class NSWIndex(BaseGraphIndex):
     """Incrementally built small-world graph without neighborhood pruning."""
 
     name = "NSW"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

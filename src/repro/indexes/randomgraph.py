@@ -24,6 +24,8 @@ class RandomGraphIndex(BaseGraphIndex):
     """Vectorized random regular graph with KS-style per-query random seeds."""
 
     name = "RandomGraph"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

@@ -25,6 +25,8 @@ class SSGIndex(BaseGraphIndex):
     """EFANNA base + 2-hop BFS candidates + MOND + multi-root DFS repair."""
 
     name = "SSG"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

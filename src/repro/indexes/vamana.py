@@ -26,6 +26,8 @@ class VamanaIndex(BaseGraphIndex):
     """Two-pass RRND refinement of a random regular graph."""
 
     name = "Vamana"
+    # seed selection is RNG/medoid-only: answers fine from a disk tier
+    disk_tier_capable = True
 
     def __init__(
         self,

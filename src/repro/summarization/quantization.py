@@ -15,7 +15,23 @@ import numpy as np
 
 from ..clustering.kmeans import kmeans
 
-__all__ = ["ScalarQuantizer", "ProductQuantizer"]
+__all__ = ["ScalarQuantizer", "ProductQuantizer", "largest_subspace_count"]
+
+
+def largest_subspace_count(dim: int, requested: int) -> int:
+    """Largest segment count ``<= requested`` that divides ``dim`` evenly.
+
+    :meth:`ProductQuantizer.fit` requires ``dim % n_subspaces == 0``; callers
+    that treat the subspace count as a soft preference (IVF-PQ, the disk
+    tier) use this to round a requested count down to the nearest valid one.
+    Always >= 1 (every dim is divisible by 1).
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    for count in range(min(requested, dim), 1, -1):
+        if dim % count == 0:
+            return count
+    return 1
 
 
 @dataclass
@@ -77,19 +93,35 @@ class ProductQuantizer:
         n_centroids: int = 16,
         rng: np.random.Generator | None = None,
     ) -> "ProductQuantizer":
-        """Train one ``n_centroids``-word codebook per subspace."""
+        """Train one ``n_centroids``-word codebook per subspace.
+
+        The configuration is validated up front — ``n_subspaces`` must divide
+        the dimensionality evenly (use :func:`largest_subspace_count` to round
+        a soft preference down) and ``n_centroids`` cannot exceed the number
+        of training points — so an impossible setup fails here with a clear
+        message instead of deep inside k-means seeding.
+        """
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))
-        dim = data.shape[1]
+        n_points, dim = data.shape
         if not 1 <= n_subspaces <= dim:
-            raise ValueError(f"n_subspaces must be in [1, {dim}]")
+            raise ValueError(f"n_subspaces must be in [1, {dim}], got {n_subspaces}")
+        if dim % n_subspaces != 0:
+            raise ValueError(
+                f"n_subspaces ({n_subspaces}) must divide dim ({dim}) evenly; "
+                f"nearest valid count is {largest_subspace_count(dim, n_subspaces)}"
+            )
+        if not 1 <= n_centroids <= n_points:
+            raise ValueError(
+                f"n_centroids must be in [1, {n_points}] (the number of "
+                f"training points), got {n_centroids}"
+            )
         if rng is None:
             rng = np.random.default_rng(0)
         bounds = np.linspace(0, dim, n_subspaces + 1).astype(np.int64)
         codebooks = []
         for sub in range(n_subspaces):
             chunk = data[:, bounds[sub] : bounds[sub + 1]]
-            k = min(n_centroids, chunk.shape[0])
-            codebooks.append(kmeans(chunk, k, rng, max_iterations=15).centroids)
+            codebooks.append(kmeans(chunk, n_centroids, rng, max_iterations=15).centroids)
         return cls(codebooks, dim)
 
     def encode(self, data: np.ndarray) -> np.ndarray:
@@ -117,21 +149,59 @@ class ProductQuantizer:
             ]
         return out
 
+    def build_lut(self, query: np.ndarray) -> np.ndarray:
+        """Per-query ADC lookup table: query-to-centroid squared distances.
+
+        Returns a ``(n_subspaces, n_centroids)`` float64 array; row ``sub``
+        holds the squared distance from the query's ``sub``-th chunk to every
+        centroid of that subspace's codebook.  Built once per query and
+        reused by every :meth:`lut_distances` call — the hot ADC scan then
+        reduces to table gathers.
+        """
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self.dim:
+            raise ValueError(
+                f"query has {query.shape[0]} dimensions, expected {self.dim}"
+            )
+        sizes = [book.shape[0] for book in self.codebooks]
+        lut = np.full((self.n_subspaces, max(sizes)), np.inf, dtype=np.float64)
+        for sub in range(self.n_subspaces):
+            q_chunk = query[self._bounds[sub] : self._bounds[sub + 1]]
+            lut[sub, : sizes[sub]] = ((self.codebooks[sub] - q_chunk) ** 2).sum(axis=1)
+        return lut
+
+    def lut_distances(
+        self, lut: np.ndarray, codes: np.ndarray, block_size: int = 65_536
+    ) -> np.ndarray:
+        """ADC distance estimates of encoded vectors against a prepared LUT.
+
+        Sums one table entry per subspace per code row, in fixed-size blocks
+        so peak ancillary memory stays ``O(block_size)`` for arbitrarily
+        large code arrays.  The per-element accumulation order (ascending
+        subspace) is independent of ``block_size``, so results are bitwise
+        identical at any block size.
+        """
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        out = np.empty(codes.shape[0], dtype=np.float64)
+        for start in range(0, codes.shape[0], block_size):
+            block = codes[start : start + block_size]
+            total = np.zeros(block.shape[0], dtype=np.float64)
+            for sub in range(self.n_subspaces):
+                total += lut[sub][block[:, sub]]
+            np.maximum(total, 0.0, out=total)
+            out[start : start + block_size] = np.sqrt(total)
+        return out
+
     def asymmetric_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """ADC distance estimate from a raw query to encoded vectors.
 
-        Precomputes per-subspace lookup tables (query-to-centroid squared
-        distances) and sums table entries per code — the standard IVF-PQ
-        scan kernel.
+        Convenience wrapper over :meth:`build_lut` + :meth:`lut_distances`;
+        callers scoring many candidate batches against one query should
+        build the LUT once and call :meth:`lut_distances` directly.
         """
-        query = np.asarray(query, dtype=np.float64)
-        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
-        total = np.zeros(codes.shape[0], dtype=np.float64)
-        for sub in range(self.n_subspaces):
-            q_chunk = query[self._bounds[sub] : self._bounds[sub + 1]]
-            table = ((self.codebooks[sub] - q_chunk) ** 2).sum(axis=1)
-            total += table[codes[:, sub]]
-        return np.sqrt(np.maximum(total, 0.0))
+        return self.lut_distances(self.build_lut(query), codes)
 
     def memory_bytes(self) -> int:
         """Bytes held by the codebooks."""

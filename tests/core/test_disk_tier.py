@@ -1,0 +1,256 @@
+"""Beyond-RAM tier: two-phase PQ search, mmap graphs, deterministic counters.
+
+The disk tier's contract has three legs, each pinned here:
+
+* **equivalence** — the vectorized kernel path (``batch_search_pq``) is
+  bit-identical to the scalar reference (``pq_beam_search``) in answers and
+  in all three counters, at any chunk size and backend; mmap-backed and
+  in-memory tiers agree bitwise;
+* **recall parity** — PQ-guided traversal plus exact re-rank stays within a
+  fixed tolerance of the exact in-memory beam search;
+* **determinism** — ``approx_calls``/``page_reads`` are identical at any
+  worker count, because they are logical counters, not OS page faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.beam_search import beam_search, pq_beam_search
+from repro.core.distances import DistanceComputer, PQDistanceComputer
+from repro.core.graph import CSRGraph, Graph
+from repro.core.kernels import batch_search_pq
+from repro.core.serialization import open_disk_tier, save_disk_tier
+from repro.eval.metrics import recall
+from repro.eval.parallel import run_batch
+from repro.indexes.base import load_disk_index
+from repro.indexes.hnsw import HNSWIndex
+from repro.indexes.vamana import VamanaIndex
+from repro.summarization.quantization import ProductQuantizer
+
+N, DIM = 400, 16
+K, WIDTH = 10, 40
+
+
+@pytest.fixture(scope="module")
+def pieces(tmp_path_factory):
+    rng = np.random.default_rng(9)
+    data = rng.normal(size=(N, DIM)).astype(np.float32)
+    graph = Graph(N)
+    for node in range(N):
+        graph.set_neighbors(node, rng.choice(N, size=10, replace=False))
+    pq = ProductQuantizer.fit(data, n_subspaces=8, n_centroids=32, rng=rng)
+    codes = pq.encode(data)
+    directory = save_disk_tier(
+        tmp_path_factory.mktemp("tier") / "t", graph, data, pq, codes
+    )
+    queries = rng.normal(size=(16, DIM))
+    seeds = [
+        np.random.default_rng((41, j)).choice(N, size=4, replace=False)
+        for j in range(queries.shape[0])
+    ]
+    return directory, data, graph, queries, seeds
+
+
+def _fresh(directory, mmap=True):
+    return open_disk_tier(directory, mmap=mmap)
+
+
+# ----------------------------------------------------------------------
+# equivalence: scalar vs kernel, mmap vs RAM
+# ----------------------------------------------------------------------
+def test_kernel_bit_identical_to_scalar_including_counters(pieces):
+    directory, _, _, queries, seeds = pieces
+    tier = _fresh(directory)
+    scalar = [
+        pq_beam_search(tier.graph, tier.computer, q, s, K, WIDTH)
+        for q, s in zip(queries, seeds)
+    ]
+    for backend in ("python", "scalar"):
+        for chunk_size in (3, 256):
+            other = _fresh(directory)
+            batched = batch_search_pq(
+                other.graph, other.computer, queries, seeds, K, WIDTH,
+                backend=backend, chunk_size=chunk_size,
+            )
+            for a, b in zip(scalar, batched):
+                assert np.array_equal(a.ids, b.ids)
+                assert np.array_equal(a.dists, b.dists)
+                assert a.distance_calls == b.distance_calls
+                assert a.hops == b.hops
+                assert a.approx_calls == b.approx_calls
+                assert a.page_reads == b.page_reads
+            # global counters reconcile exactly with the per-query sums
+            assert other.computer.checkpoint() == (
+                sum(r.distance_calls for r in batched),
+                sum(r.approx_calls for r in batched),
+                sum(r.page_reads for r in batched),
+            )
+
+
+def test_mmap_tier_bit_identical_to_ram_tier(pieces):
+    directory, _, _, queries, seeds = pieces
+    mm, ram = _fresh(directory, mmap=True), _fresh(directory, mmap=False)
+    for q, s in zip(queries, seeds):
+        a = pq_beam_search(mm.graph, mm.computer, q, s, K, WIDTH)
+        b = pq_beam_search(ram.graph, ram.computer, q, s, K, WIDTH)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.dists, b.dists)
+        assert (a.distance_calls, a.approx_calls, a.page_reads) == (
+            b.distance_calls, b.approx_calls, b.page_reads
+        )
+
+
+def test_csr_mmap_matches_in_memory_graph(pieces):
+    directory, _, graph, _, _ = pieces
+    tier = _fresh(directory)
+    csr = CSRGraph.from_graph(graph)
+    assert tier.graph.n == csr.n
+    assert np.array_equal(np.asarray(tier.graph.indptr), csr.indptr)
+    for node in (0, 7, N - 1):
+        assert tier.graph.neighbors(node).tolist() == csr.neighbors(node).tolist()
+
+
+def test_csr_mmap_rejects_wrong_indptr_dtype(tmp_path):
+    np.save(tmp_path / "indptr.npy", np.asarray([0, 1], dtype=np.int32))
+    np.save(tmp_path / "indices.npy", np.asarray([0], dtype=np.int64))
+    with pytest.raises(ValueError, match="int64"):
+        CSRGraph.mmap(tmp_path / "indptr.npy", tmp_path / "indices.npy")
+
+
+def test_csr_mmap_rejects_inconsistent_offsets(tmp_path):
+    np.save(tmp_path / "indptr.npy", np.asarray([0, 5], dtype=np.int64))
+    np.save(tmp_path / "indices.npy", np.asarray([0], dtype=np.int64))
+    with pytest.raises(ValueError, match="corrupt"):
+        CSRGraph.mmap(tmp_path / "indptr.npy", tmp_path / "indices.npy")
+
+
+# ----------------------------------------------------------------------
+# accounting semantics
+# ----------------------------------------------------------------------
+def test_counter_semantics(pieces):
+    directory, _, _, queries, seeds = pieces
+    tier = _fresh(directory)
+    result = pq_beam_search(tier.graph, tier.computer, queries[0], seeds[0], K, WIDTH)
+    # exact calls = vector rows re-ranked = final beam size (here, full beam)
+    assert result.distance_calls == WIDTH
+    # logical page reads = adjacency rows expanded + vector rows re-ranked
+    assert result.page_reads == result.hops + result.distance_calls
+    # every scored code costs one approx call; seeds are scored too
+    assert result.approx_calls >= len(seeds[0])
+    assert result.ids.size == K
+    assert np.all(np.diff(result.dists) >= 0)
+
+
+def test_rerank_distances_are_exact(pieces):
+    directory, data, _, queries, seeds = pieces
+    tier = _fresh(directory)
+    result = pq_beam_search(tier.graph, tier.computer, queries[0], seeds[0], K, WIDTH)
+    expected = np.linalg.norm(
+        data[result.ids].astype(np.float64) - queries[0], axis=1
+    )
+    assert np.allclose(result.dists, expected, rtol=0, atol=1e-10)
+
+
+def test_pq_computer_validation(pieces):
+    directory, data, _, _, _ = pieces
+    tier = _fresh(directory)
+    pq = tier.computer.pq
+    with pytest.raises(ValueError, match="codes"):
+        PQDistanceComputer(pq, tier.computer.codes[:, :-1], data)
+    with pytest.raises(ValueError, match="vectors"):
+        PQDistanceComputer(pq, tier.computer.codes, data[:-1])
+
+
+# ----------------------------------------------------------------------
+# recall parity: PQ + exact re-rank vs the exact in-memory path
+# ----------------------------------------------------------------------
+RECALL_TOLERANCE = 0.15
+
+
+def test_recall_parity_with_exact_beam_search(pieces):
+    directory, data, graph, queries, seeds = pieces
+    tier = _fresh(directory)
+    computer = DistanceComputer(data)
+    csr = CSRGraph.from_graph(graph)
+    disk_recalls, exact_recalls = [], []
+    for q, s in zip(queries, seeds):
+        truth = computer.exact_knn(q, K)[0]
+        disk = pq_beam_search(tier.graph, tier.computer, q, s, K, WIDTH)
+        exact = beam_search(csr, computer, q, s, K, WIDTH)
+        disk_recalls.append(recall(disk.ids, truth))
+        exact_recalls.append(recall(exact.ids, truth))
+    assert np.mean(disk_recalls) >= np.mean(exact_recalls) - RECALL_TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# index integration: save/load, worker determinism, capability gating
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def vamana_tier(tmp_path_factory):
+    rng = np.random.default_rng(31)
+    data = rng.normal(size=(300, DIM)).astype(np.float32)
+    index = VamanaIndex(seed=5).build(data)
+    directory = index.to_disk_tier(
+        tmp_path_factory.mktemp("vamana") / "tier",
+        pq_subspaces=8, pq_centroids=32,
+    )
+    queries = rng.normal(size=(12, DIM))
+    return directory, data, index, queries
+
+
+def test_load_disk_index_roundtrip(vamana_tier):
+    directory, _, ram_index, queries = vamana_tier
+    disk = load_disk_index(directory)
+    assert disk.name == ram_index.name
+    assert disk.seed == ram_index.seed
+    result = disk.search(queries[0], k=K, beam_width=WIDTH)
+    assert result.ids.size == K
+    assert result.page_reads > 0 and result.approx_calls > 0
+
+
+def test_disk_index_recall_close_to_ram_index(vamana_tier):
+    directory, data, ram_index, queries = vamana_tier
+    computer = DistanceComputer(data)
+    disk = load_disk_index(directory)
+    disk_recalls, ram_recalls = [], []
+    for j, q in enumerate(queries):
+        truth = computer.exact_knn(q, K)[0]
+        disk.seed_query_rng(j)
+        disk_recalls.append(recall(disk.search(q, K, WIDTH).ids, truth))
+        ram_index.seed_query_rng(j)
+        ram_recalls.append(recall(ram_index.search(q, K, WIDTH).ids, truth))
+    assert np.mean(disk_recalls) >= np.mean(ram_recalls) - RECALL_TOLERANCE
+
+
+def test_worker_count_and_backend_determinism(vamana_tier):
+    directory, _, _, queries = vamana_tier
+    base = run_batch(
+        load_disk_index(directory), queries, k=K, beam_width=WIDTH,
+        n_workers=1, kernel="python",
+    )
+    for n_workers, kernel in ((1, "scalar"), (2, "python"), (3, "scalar")):
+        other = run_batch(
+            load_disk_index(directory), queries, k=K, beam_width=WIDTH,
+            n_workers=n_workers, kernel=kernel,
+        )
+        for a, b in zip(base.outcomes, other.outcomes):
+            assert a.query_index == b.query_index
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.dists, b.dists)
+            assert a.distance_calls == b.distance_calls
+            assert a.hops == b.hops
+            assert a.approx_calls == b.approx_calls
+            assert a.page_reads == b.page_reads
+        assert other.total_approx_calls == base.total_approx_calls
+        assert other.total_page_reads == base.total_page_reads
+
+
+def test_non_capable_index_refuses_disk_tier(vamana_tier):
+    directory, _, _, _ = vamana_tier
+    rng = np.random.default_rng(1)
+    hnsw = HNSWIndex(seed=1).build(rng.normal(size=(50, DIM)).astype(np.float32))
+    with pytest.raises(NotImplementedError, match="disk tier"):
+        hnsw.to_disk_tier("/nonexistent-never-written")
+    tier = open_disk_tier(directory)
+    with pytest.raises(NotImplementedError, match="disk tier"):
+        hnsw.attach_disk_tier(tier)

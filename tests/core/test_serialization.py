@@ -1,10 +1,17 @@
-"""Round-trip tests for graph persistence."""
+"""Round-trip tests for graph persistence and the disk-tier format."""
 
 import numpy as np
 import pytest
 
-from repro.core.graph import Graph
-from repro.core.serialization import load_graph, save_graph
+from repro.core.graph import CSRGraph, Graph
+from repro.core.serialization import (
+    load_csr_graph,
+    load_graph,
+    open_disk_tier,
+    save_disk_tier,
+    save_graph,
+)
+from repro.summarization.quantization import ProductQuantizer
 
 
 def test_roundtrip(tmp_path, small_graph):
@@ -104,3 +111,140 @@ def test_vectorized_load_matches_original_adjacency(tmp_path):
     loaded = load_graph(save_graph(graph, tmp_path / "g"))
     for node in range(40):
         assert loaded.neighbors(node).tolist() == graph.neighbors(node).tolist()
+
+
+# ----------------------------------------------------------------------
+# format version 2: CSRGraph inputs, int64 neighbor ids, legacy errors
+# ----------------------------------------------------------------------
+def _random_graph(rng, n=30, degree=5):
+    graph = Graph(n)
+    for node in range(n):
+        graph.set_neighbors(node, rng.choice(n, size=degree, replace=False))
+    return graph
+
+
+def test_int64_csr_roundtrip(tmp_path):
+    """int64-offset CSR graphs survive save/load with dtype preserved."""
+    rng = np.random.default_rng(11)
+    graph = _random_graph(rng)
+    csr32 = CSRGraph.from_graph(graph)
+    csr64 = CSRGraph(csr32.indptr, csr32.indices.astype(np.int64), validate=False)
+    path = save_graph(csr64, tmp_path / "g64")
+    loaded = load_csr_graph(path)
+    assert loaded.indices.dtype == np.int64
+    assert np.array_equal(loaded.indptr, csr64.indptr)
+    assert np.array_equal(loaded.indices, csr64.indices)
+    # the adjacency-list loader agrees too
+    materialized = load_graph(path)
+    for node in range(graph.n):
+        assert materialized.neighbors(node).tolist() == graph.neighbors(node).tolist()
+
+
+def test_csr_graph_input_roundtrip(tmp_path):
+    rng = np.random.default_rng(12)
+    graph = _random_graph(rng)
+    path = save_graph(CSRGraph.from_graph(graph), tmp_path / "csr")
+    loaded = load_csr_graph(path)
+    for node in range(graph.n):
+        assert loaded.neighbors(node).tolist() == graph.neighbors(node).tolist()
+
+
+def test_unversioned_file_clear_error(tmp_path):
+    """A pre-header npz fails with a message naming the problem, not a
+    silent misparse or a KeyError."""
+    path = tmp_path / "legacy.npz"
+    np.savez(path, n=np.asarray([2]), indptr=np.zeros(3, dtype=np.int64),
+             indices=np.empty(0, dtype=np.int32))
+    with pytest.raises(ValueError, match="unversioned"):
+        load_graph(path)
+    with pytest.raises(ValueError, match="unversioned"):
+        load_csr_graph(path)
+
+
+def test_non_npz_file_clear_error(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not an npz archive")
+    with pytest.raises(ValueError, match="not an .npz archive"):
+        load_graph(path)
+
+
+# ----------------------------------------------------------------------
+# disk-tier directory format
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def tier_pieces():
+    rng = np.random.default_rng(21)
+    n, dim = 60, 8
+    data = rng.normal(size=(n, dim)).astype(np.float32)
+    graph = _random_graph(rng, n=n, degree=4)
+    pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=16, rng=rng)
+    codes = pq.encode(data)
+    return graph, data, pq, codes
+
+
+def test_disk_tier_roundtrip(tmp_path, tier_pieces):
+    graph, data, pq, codes = tier_pieces
+    directory = save_disk_tier(tmp_path / "tier", graph, data, pq, codes)
+    tier = open_disk_tier(directory)
+    assert tier.graph.n == graph.n
+    for node in range(graph.n):
+        assert tier.graph.neighbors(node).tolist() == graph.neighbors(node).tolist()
+    assert np.array_equal(np.asarray(tier.vectors), data)
+    assert np.array_equal(tier.computer.codes, codes)
+    assert tier.resident_bytes() > 0
+    # graph + raw vectors live on disk, not in the resident footprint
+    assert tier.file_bytes() > data.nbytes
+
+
+def test_disk_tier_mmap_matches_ram_mode(tmp_path, tier_pieces):
+    graph, data, pq, codes = tier_pieces
+    directory = save_disk_tier(tmp_path / "tier", graph, data, pq, codes)
+    mm = open_disk_tier(directory, mmap=True)
+    ram = open_disk_tier(directory, mmap=False)
+    assert isinstance(mm.vectors, np.memmap)
+    assert not isinstance(ram.vectors, np.memmap)
+    query = np.asarray(data[5], dtype=np.float64)
+    ids = np.arange(graph.n)
+    a = mm.computer.lut_to_ids(mm.computer.build_lut(query), ids)
+    b = ram.computer.lut_to_ids(ram.computer.build_lut(query), ids)
+    assert np.array_equal(a, b)
+    assert np.array_equal(mm.computer.rerank(ids, query), ram.computer.rerank(ids, query))
+
+
+def test_disk_tier_not_a_tier_error(tmp_path):
+    with pytest.raises(ValueError, match="not a disk-tier directory"):
+        open_disk_tier(tmp_path)
+
+
+def test_disk_tier_version_check(tmp_path, tier_pieces):
+    import json
+
+    graph, data, pq, codes = tier_pieces
+    directory = save_disk_tier(tmp_path / "tier", graph, data, pq, codes)
+    meta_path = directory / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["version"] = 99
+    meta_path.write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="version 99"):
+        open_disk_tier(directory)
+
+
+def test_disk_tier_shape_mismatch_rejected(tmp_path, tier_pieces):
+    graph, data, pq, codes = tier_pieces
+    with pytest.raises(ValueError, match="codes"):
+        save_disk_tier(tmp_path / "bad", graph, data, pq, codes[:-1])
+    with pytest.raises(ValueError, match="data has shape"):
+        save_disk_tier(tmp_path / "bad2", graph, data[:-1], pq, codes)
+
+
+def test_disk_tier_index_payload(tmp_path, tier_pieces):
+    graph, data, pq, codes = tier_pieces
+    directory = save_disk_tier(
+        tmp_path / "tier", graph, data, pq, codes, index={"tag": 42}
+    )
+    tier = open_disk_tier(directory)
+    assert tier.meta["has_index"] is True
+    assert tier.load_index() == {"tag": 42}
+    bare = save_disk_tier(tmp_path / "bare", graph, data, pq, codes)
+    with pytest.raises(FileNotFoundError):
+        open_disk_tier(bare).load_index()

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.summarization.quantization import ProductQuantizer, ScalarQuantizer
+from repro.summarization.quantization import (
+    ProductQuantizer,
+    ScalarQuantizer,
+    largest_subspace_count,
+)
 
 
 @pytest.fixture()
@@ -79,3 +83,84 @@ def test_pq_adc_close_to_true(data):
 def test_pq_memory(data):
     pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=8)
     assert pq.memory_bytes() > 0
+
+
+# ----------------------------------------------------------------------
+# fit validation: impossible configurations fail up front, clearly
+# ----------------------------------------------------------------------
+def test_pq_fit_rejects_non_divisible_subspaces(data):
+    """Regression: dim=16 with 5 subspaces used to fail deep in k-means."""
+    with pytest.raises(ValueError, match="divide dim"):
+        ProductQuantizer.fit(data, n_subspaces=5)
+
+
+def test_pq_fit_non_divisible_error_names_nearest_valid(data):
+    with pytest.raises(ValueError, match="nearest valid count is 4"):
+        ProductQuantizer.fit(data, n_subspaces=5)
+
+
+def test_pq_fit_rejects_more_centroids_than_points(data):
+    """Regression: k > n used to be clamped silently instead of raising."""
+    with pytest.raises(ValueError, match="n_centroids"):
+        ProductQuantizer.fit(data, n_subspaces=4, n_centroids=data.shape[0] + 1)
+
+
+def test_pq_fit_accepts_boundary_configurations(data):
+    # exactly n centroids, and one subspace per dimension, are both legal
+    pq = ProductQuantizer.fit(data[:8], n_subspaces=16, n_centroids=8)
+    assert pq.encode(data[:8]).shape == (8, 16)
+
+
+def test_largest_subspace_count():
+    assert largest_subspace_count(16, 5) == 4
+    assert largest_subspace_count(16, 16) == 16
+    assert largest_subspace_count(16, 100) == 16
+    assert largest_subspace_count(7, 4) == 1  # prime dim: only 1 divides
+    assert largest_subspace_count(96, 13) == 12
+    with pytest.raises(ValueError):
+        largest_subspace_count(0, 4)
+
+
+# ----------------------------------------------------------------------
+# LUT split: build_lut + lut_distances vs the one-shot implementation
+# ----------------------------------------------------------------------
+def _reference_adc(pq, query, codes):
+    """The pre-split asymmetric_distances: rebuild the table inline."""
+    query = np.asarray(query, dtype=np.float64).ravel()
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+    total = np.zeros(codes.shape[0], dtype=np.float64)
+    for sub in range(pq.n_subspaces):
+        chunk = query[pq._bounds[sub] : pq._bounds[sub + 1]]
+        table = ((pq.codebooks[sub] - chunk) ** 2).sum(axis=1)
+        total += table[codes[:, sub]]
+    return np.sqrt(np.maximum(total, 0.0))
+
+
+def test_lut_split_bitwise_equal_to_reference(data):
+    """The split implementation must be bitwise equal to the old one."""
+    pq = ProductQuantizer.fit(data, n_subspaces=8, n_centroids=16)
+    codes = pq.encode(data)
+    rng = np.random.default_rng(7)
+    for query in rng.normal(size=(5, data.shape[1])):
+        split = pq.asymmetric_distances(query, codes)
+        assert np.array_equal(split, _reference_adc(pq, query, codes))
+
+
+def test_lut_distances_block_size_invariant(data):
+    pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=16)
+    codes = pq.encode(data)
+    lut = pq.build_lut(data[3])
+    full = pq.lut_distances(lut, codes)
+    for block in (1, 7, 64, 1000):
+        assert np.array_equal(pq.lut_distances(lut, codes, block_size=block), full)
+    with pytest.raises(ValueError):
+        pq.lut_distances(lut, codes, block_size=0)
+
+
+def test_build_lut_shape_and_query_validation(data):
+    pq = ProductQuantizer.fit(data, n_subspaces=4, n_centroids=16)
+    lut = pq.build_lut(data[0])
+    assert lut.shape == (4, 16)
+    assert np.isfinite(lut).all()
+    with pytest.raises(ValueError, match="dimensions"):
+        pq.build_lut(np.zeros(data.shape[1] + 1))

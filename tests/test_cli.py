@@ -80,3 +80,25 @@ def test_parser_accepts_workers():
     args = parser.parse_args(["demo", "--workers", "4", "--stats"])
     assert args.workers == 4
     assert args.stats is True
+
+
+def test_demo_disk_tier(capsys):
+    code = main(
+        ["demo", "--method", "Vamana", "--n", "300", "--queries", "4",
+         "--beam-width", "40", "--tier-mode", "disk", "--stats"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "disk tier:" in out
+    assert "memory-mapped" in out
+    assert "total page reads" in out
+    assert "recall@10" in out
+
+
+def test_demo_disk_tier_rejects_non_capable_method(capsys):
+    code = main(
+        ["demo", "--method", "HNSW", "--n", "250", "--queries", "3",
+         "--tier-mode", "disk"]
+    )
+    assert code == 2
+    assert "cannot answer from a disk tier" in capsys.readouterr().out
