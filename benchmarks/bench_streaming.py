@@ -1,0 +1,230 @@
+"""Streaming tier under churn: recall drift, determinism, mixed-load latency.
+
+Not a paper figure: the paper's protocol is build-then-freeze, and this
+benchmark characterizes the streaming serving tier layered on top of it.
+A synthetic dataset is built into a :class:`StreamingIndex`, then driven
+through a fixed insert/delete/consolidate schedule at 10% churn:
+
+* **Recall drift.**  Recall against the *live* ground truth is measured
+  after churn (tombstoned nodes still routing) and again after
+  ``consolidate()``; the consolidated graph must stay within 2 recall
+  points of a from-scratch build over the same live vectors.
+* **Determinism.**  The whole schedule is replayed at worker counts 1, 2,
+  and 4 and under both the vectorized and the scalar beam backend; graph
+  bytes (fingerprint) and the aggregate distance-call counter must be
+  bit-identical every time.
+* **Mixed load.**  The asyncio serving engine answers concurrent
+  micro-batched queries while deletes and inserts land between batches;
+  client-observed p50/p95/p99 and cache behavior are recorded.
+
+Environment knobs: ``REPRO_SCALE`` multiplies the 6k point count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+
+from repro.core.kernels import resolve_backend
+from repro.core.streaming import StreamingIndex
+from repro.datasets.synthetic import generate
+from repro.eval.metrics import recall
+from repro.eval.reporting import Report
+from repro.eval.serving import ServingEngine
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+N_POINTS = max(int(6_000 * SCALE), 256)
+N_QUERIES = 25
+K = 10
+MAX_DEGREE = 16
+WIDTH = 64
+CHURN = 0.10
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _make_index(n_workers=1, kernel=None):
+    return StreamingIndex(
+        max_degree=MAX_DEGREE,
+        build_beam_width=WIDTH,
+        seed=11,
+        default_beam_width=WIDTH,
+        n_workers=n_workers,
+        min_parallel_batch=8,
+        kernel=kernel,
+    )
+
+
+def _churn_schedule(n):
+    """Fixed, replayable schedule: who dies and what replaces them."""
+    rng = np.random.default_rng(23)
+    n_churn = int(round(CHURN * n))
+    doomed = rng.choice(n, size=n_churn, replace=False)
+    replacements = generate("deep", n_churn, seed=29)
+    return doomed, replacements
+
+
+def _apply_schedule(index, doomed, replacements):
+    half = len(doomed) // 2
+    index.delete(doomed[:half])
+    index.insert(replacements[: len(replacements) // 2])
+    index.delete(doomed[half:])
+    index.insert(replacements[len(replacements) // 2:])
+
+
+def _mean_recall(index, queries, true_ids, beam_width=WIDTH):
+    recalls = []
+    for j in range(queries.shape[0]):
+        index.seed_query_rng(j)
+        result = index.search(queries[j], k=K, beam_width=beam_width)
+        recalls.append(recall(result.ids, true_ids[j]))
+    return float(np.mean(recalls))
+
+
+def test_streaming_churn_and_determinism():
+    data = generate("deep", N_POINTS, seed=7)
+    queries = generate("deep", N_QUERIES, seed=13)
+    doomed, replacements = _churn_schedule(N_POINTS)
+
+    report = Report("streaming")
+    report.add_metadata(
+        n_points=N_POINTS,
+        n_queries=N_QUERIES,
+        k=K,
+        max_degree=MAX_DEGREE,
+        beam_width=WIDTH,
+        churn=CHURN,
+        kernel=resolve_backend(None),
+        worker_counts=list(WORKER_COUNTS),
+        cores=os.cpu_count(),
+    )
+
+    # ------------------------------------------------------------------
+    # recall drift at 10% churn, before and after consolidation
+    # ------------------------------------------------------------------
+    index = _make_index()
+    start = time.perf_counter()
+    index.build(data)
+    build_s = time.perf_counter() - start
+    _apply_schedule(index, doomed, replacements)
+    true_ids, _ = index.alive_ground_truth(queries, K)
+    recall_churned = _mean_recall(index, queries, true_ids)
+    start = time.perf_counter()
+    consolidation = index.consolidate()
+    consolidate_s = time.perf_counter() - start
+    recall_consolidated = _mean_recall(index, queries, true_ids)
+
+    # the yardstick: a from-scratch build over exactly the live vectors
+    alive_rows = np.concatenate(
+        [
+            data[np.setdiff1d(np.arange(N_POINTS), doomed)],
+            replacements,
+        ]
+    )
+    fresh = _make_index().build(alive_rows)
+    fresh_truth, _ = fresh.alive_ground_truth(queries, K)
+    recall_fresh = _mean_recall(fresh, queries, fresh_truth)
+
+    report.add_table(
+        ["stage", "recall@10", "dist calls", "seconds"],
+        [
+            ["initial build", "", index.build_report.distance_calls, round(build_s, 2)],
+            ["churned (tombstones routing)", round(recall_churned, 4), "", ""],
+            [
+                "consolidated",
+                round(recall_consolidated, 4),
+                consolidation.distance_calls,
+                round(consolidate_s, 2),
+            ],
+            ["from-scratch rebuild", round(recall_fresh, 4), fresh.build_report.distance_calls, ""],
+        ],
+        title=f"Recall vs live ground truth at {100 * CHURN:.0f}% churn, "
+        f"n={N_POINTS}, R={MAX_DEGREE}, L={WIDTH}",
+    )
+
+    drift = recall_fresh - recall_consolidated
+    assert drift < 0.02, (
+        f"consolidated recall {recall_consolidated:.4f} drifted "
+        f"{100 * drift:.1f} points below the from-scratch build's "
+        f"{recall_fresh:.4f} (tolerance: 2 points)"
+    )
+
+    # ------------------------------------------------------------------
+    # determinism: bit-identical state across workers and kernel backends
+    # ------------------------------------------------------------------
+    def replay(n_workers, kernel):
+        replayed = _make_index(n_workers=n_workers, kernel=kernel)
+        replayed.build(data)
+        _apply_schedule(replayed, doomed, replacements)
+        replayed.consolidate()
+        return replayed.graph_fingerprint(), replayed.computer.count
+
+    runs = {}
+    for n_workers in WORKER_COUNTS:
+        runs[(n_workers, "default")] = replay(n_workers, None)
+    runs[(1, "scalar")] = replay(1, "scalar")
+    baseline = runs[(1, "default")]
+    for (n_workers, kernel), observed in runs.items():
+        assert observed == baseline, (
+            f"schedule replay at workers={n_workers} kernel={kernel} produced "
+            f"fingerprint/count {observed}, baseline {baseline}"
+        )
+    report.add_table(
+        ["workers", "kernel", "graph fingerprint", "dist calls"],
+        [
+            [n_workers, kernel, fingerprint, count]
+            for (n_workers, kernel), (fingerprint, count) in runs.items()
+        ],
+        title="Schedule replay determinism (identical rows expected)",
+    )
+
+    # ------------------------------------------------------------------
+    # mixed load through the serving engine: concurrent queries + churn
+    # ------------------------------------------------------------------
+    async def mixed_load():
+        live = _make_index().build(data)
+        engine = ServingEngine(live, k=K, beam_width=WIDTH, max_batch=8)
+        half = len(doomed) // 2
+        await asyncio.gather(
+            engine.delete(doomed[:half]),
+            *[engine.search(q) for q in queries],
+        )
+        await asyncio.gather(
+            engine.insert(replacements),
+            engine.delete(doomed[half:]),
+            *[engine.search(q) for q in queries],
+        )
+        await engine.consolidate()
+        answers = await asyncio.gather(*[engine.search(q) for q in queries])
+        truth, _ = live.alive_ground_truth(queries, K)
+        final_recall = float(
+            np.mean([recall(ids, t) for (ids, _), t in zip(answers, truth)])
+        )
+        # deleted ids must never surface, at any point after the tombstoning
+        for ids, _ in answers:
+            assert not np.intersect1d(ids, doomed).size
+        await engine.close()
+        return engine.report, final_recall
+
+    serving_report, served_recall = asyncio.run(mixed_load())
+    measurement = serving_report.measurement(served_recall, WIDTH)
+    report.add_table(
+        ["metric", "value"],
+        [
+            ["queries served", serving_report.n_queries],
+            ["cache hits", serving_report.cache_hits],
+            ["mean batch size", round(serving_report.mean_batch_size, 2)],
+            ["recall@10 (post-consolidate)", round(served_recall, 4)],
+            ["p50 latency (ms)", round(1000 * measurement.p50_time_s, 3)],
+            ["p95 latency (ms)", round(1000 * measurement.p95_time_s, 3)],
+            ["p99 latency (ms)", round(1000 * measurement.p99_time_s, 3)],
+            ["QPS", round(measurement.qps, 1)],
+        ],
+        title="Mixed insert/delete/query load (asyncio micro-batching)",
+    )
+    report.save()
+
+    assert serving_report.n_queries == 3 * N_QUERIES
+    assert measurement.p99_time_s > 0.0

@@ -12,6 +12,10 @@ Commands
     Print the LID/LRC hardness profile of a dataset (Figure 4 style).
 ``recommend``
     Apply the Figure 18 decision tree to a dataset size / hardness.
+``serve``
+    Streaming-tier demo: build a live index, churn it with interleaved
+    deletes/inserts while answering concurrent micro-batched queries, then
+    consolidate and report recall drift + client-observed latency.
 """
 
 from __future__ import annotations
@@ -143,6 +147,89 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Mixed insert/delete/query load on the streaming tier, then consolidate."""
+    import asyncio
+
+    from .core.streaming import StreamingIndex
+    from .datasets.synthetic import generate
+    from .eval.metrics import recall
+    from .eval.serving import ServingEngine
+
+    data = generate(args.dataset, args.n, seed=args.seed)
+    queries = generate(args.dataset, args.queries, seed=args.seed + 1)
+    index = StreamingIndex(
+        max_degree=args.max_degree,
+        build_beam_width=args.beam_width,
+        seed=args.seed,
+        default_beam_width=args.beam_width,
+        n_workers=args.workers,
+        kernel=args.kernel,
+    )
+    index.build(data)
+    print(
+        f"built {index.name} on {args.dataset} (n={args.n}): "
+        f"{index.build_report.wall_time_s:.1f}s, "
+        f"{index.build_report.distance_calls:,} distance calls"
+    )
+
+    churn_rng = np.random.default_rng(args.seed + 2)
+    n_churn = int(round(args.churn * args.n))
+
+    async def run() -> tuple[float, float]:
+        engine = ServingEngine(
+            index, k=args.k, beam_width=args.beam_width, kernel=args.kernel
+        )
+        # churn: tombstone a random slice of the build set, insert fresh
+        # replacement vectors, with concurrent query traffic throughout
+        doomed = churn_rng.choice(args.n, size=n_churn, replace=False)
+        replacements = generate(args.dataset, max(n_churn, 1), seed=args.seed + 3)
+        half = len(doomed) // 2
+        await asyncio.gather(
+            engine.delete(doomed[:half]),
+            *[engine.search(q) for q in queries],
+        )
+        await asyncio.gather(
+            engine.delete(doomed[half:]),
+            engine.insert(replacements[:n_churn]),
+            *[engine.search(q) for q in queries],
+        )
+        true_ids, _ = index.alive_ground_truth(queries, args.k)
+        answers = await asyncio.gather(*[engine.search(q) for q in queries])
+        drift_recall = float(
+            np.mean([recall(ids, t) for (ids, _), t in zip(answers, true_ids)])
+        )
+        report = await engine.consolidate()
+        print(
+            f"consolidate: {report.n_dead} dead, {report.n_repaired} nodes "
+            f"repaired, {report.distance_calls:,} distance calls, "
+            f"{report.wall_time_s:.2f}s"
+        )
+        answers = await asyncio.gather(*[engine.search(q) for q in queries])
+        post_recall = float(
+            np.mean([recall(ids, t) for (ids, _), t in zip(answers, true_ids)])
+        )
+        await engine.close()
+        measurement = engine.report.measurement(post_recall, args.beam_width)
+        print(
+            f"served {engine.report.n_queries} queries "
+            f"({engine.report.cache_hits} cache hits, "
+            f"mean batch {engine.report.mean_batch_size:.1f})"
+        )
+        if args.stats:
+            from .eval.reporting import format_query_stats
+
+            print(format_query_stats(measurement))
+        return drift_recall, post_recall
+
+    drift_recall, post_recall = asyncio.run(run())
+    print(
+        f"recall@{args.k} vs live ground truth at {100 * args.churn:.0f}% churn: "
+        f"{drift_recall:.3f} before consolidation, {post_recall:.3f} after"
+    )
+    return 0
+
+
 def _cmd_complexity(args) -> int:
     from .datasets.complexity import dataset_complexity
     from .datasets.synthetic import generate
@@ -228,6 +315,43 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--n", type=int, required=True)
     rec.add_argument("--hard", action="store_true")
     rec.set_defaults(func=_cmd_recommend)
+
+    serve = sub.add_parser(
+        "serve", help="streaming tier: churn + concurrent queries demo"
+    )
+    serve.add_argument("--dataset", default="deep")
+    serve.add_argument("--n", type=int, default=2000)
+    serve.add_argument("--queries", type=int, default=20)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--beam-width", type=int, default=64)
+    serve.add_argument("--max-degree", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--churn",
+        type=float,
+        default=0.1,
+        help="fraction of the build set to delete (and replace with fresh "
+        "inserts) while queries are in flight",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the initial build and mutation batches "
+        "(graph state is bit-identical at any count)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=["auto", "python", "numba", "scalar"],
+        default=None,
+        help="beam-search backend (default: $REPRO_KERNEL, else auto)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print client-observed latency percentiles and throughput",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -107,7 +107,8 @@ def _build_worker_search_chunk(payload: tuple) -> list[tuple]:
         frozen = CSRGraph(arrays["indptr"], arrays["indices"], validate=False)
         computer = _BUILD_WORKER["computer"]
         results = _round_point_searches(
-            frozen, computer, points, seeds_per_point, k, beam_width, kernel
+            frozen, computer, points, seeds_per_point, k, beam_width, kernel,
+            exclude_mask=arrays.get("exclude"),
         )
         return [(r.ids, r.dists, r.distance_calls) for r in results]
     finally:
@@ -117,7 +118,7 @@ def _build_worker_search_chunk(payload: tuple) -> list[tuple]:
 
 def _round_point_searches(
     graph, computer, points, seeds_per_point, k, beam_width, kernel,
-    visited_mask=None,
+    visited_mask=None, exclude_mask=None,
 ):
     """One round's candidate searches through the selected beam kernel.
 
@@ -125,16 +126,19 @@ def _round_point_searches(
     :func:`batch_point_beam_search` reference are bit-identical per point,
     so the constructed graph and its distance accounting do not depend on
     the backend (or on whether a chunk ran in-process or in a worker).
+    ``exclude_mask`` carries the streaming tier's tombstones into insert /
+    consolidation rounds: flagged nodes route but never become candidates.
     """
     from .kernels import batch_point_search, resolve_backend
 
     if resolve_backend(kernel) == "scalar":
         return batch_point_beam_search(
             graph, computer, points, seeds_per_point, k, beam_width,
-            visited_mask=visited_mask,
+            visited_mask=visited_mask, exclude_mask=exclude_mask,
         )
     return batch_point_search(
-        graph, computer, points, seeds_per_point, k, beam_width, backend=kernel
+        graph, computer, points, seeds_per_point, k, beam_width, backend=kernel,
+        exclude_mask=exclude_mask,
     )
 
 
@@ -324,14 +328,20 @@ def _run_round_in_pool(
     width: int,
     n_workers: int,
     kernel: str | None,
+    exclude_mask: np.ndarray | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Fan one round's searches over the pool against a frozen CSR snapshot.
 
     Folds the workers' distance-call deltas into the parent counter and
     returns ``(cand_ids, cand_dists)`` per node, in insertion-rank order.
+    ``exclude_mask`` (tombstones) rides in the round's shared-memory pack so
+    every worker filters candidates identically to the in-process path.
     """
     indptr, indices = graph.to_csr()
-    csr_pack = SharedArrayPack({"indptr": indptr, "indices": indices})
+    shared = {"indptr": indptr, "indices": indices}
+    if exclude_mask is not None:
+        shared["exclude"] = exclude_mask
+    csr_pack = SharedArrayPack(shared)
     try:
         bounds = np.array_split(
             np.arange(len(nodes)), min(len(nodes), n_workers * 4)

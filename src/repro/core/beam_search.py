@@ -21,6 +21,7 @@ from .heap import NeighborQueue
 __all__ = [
     "SearchResult",
     "prepare_seeds",
+    "masked_top_k",
     "beam_search",
     "pq_beam_search",
     "rerank_topk",
@@ -46,6 +47,24 @@ def prepare_seeds(seeds, n: int) -> np.ndarray:
             f"[0, {n})"
         )
     return seeds
+
+
+def masked_top_k(
+    queue: NeighborQueue, k: int, exclude_mask: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract the ``k`` best *non-excluded* entries of a finished beam.
+
+    With no mask this is exactly ``queue.top_k(k)``.  With a mask, the
+    whole beam is filtered before truncation, so an answer slot vacated by
+    a tombstoned node is backfilled by the next-best live entry rather
+    than silently shrinking the result.  Shared by the scalar path and the
+    vectorized kernel so the two stay identical by construction.
+    """
+    if exclude_mask is None:
+        return queue.top_k(k)
+    ids, dists = queue.entries()
+    keep = ~exclude_mask[ids]
+    return ids[keep][:k], dists[keep][:k]
 
 
 @dataclass
@@ -94,6 +113,7 @@ def beam_search(
     k: int,
     beam_width: int,
     visited_mask: np.ndarray | None = None,
+    exclude_mask: np.ndarray | None = None,
 ) -> SearchResult:
     """Run Algorithm 1 and return the ``k`` best answers.
 
@@ -115,6 +135,14 @@ def beam_search(
     visited_mask:
         Optional pre-allocated ``bool`` scratch array of length ``n``; it is
         cleared on entry.  Passing one avoids reallocation in tight loops.
+    exclude_mask:
+        Optional ``bool`` array of length ``n`` flagging tombstoned nodes
+        (the streaming tier's deletes).  Flagged nodes are traversed —
+        FreshDiskANN-style, they keep routing until a consolidation pass
+        rewires around them — but never returned: the finished beam is
+        filtered before the ``k`` truncation.  Traversal, and therefore
+        ``distance_calls``/``hops``/``visited``, is identical with or
+        without the mask.
     """
     if beam_width < k:
         raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
@@ -156,7 +184,7 @@ def beam_search(
                     if dist < bound:
                         bound = queue.insert(dist, nbr)
 
-    ids, dists = queue.top_k(k)
+    ids, dists = masked_top_k(queue, k, exclude_mask)
     visited = (
         np.concatenate(visit_order) if visit_order else np.empty(0, dtype=np.int64)
     )
@@ -271,6 +299,7 @@ def batch_point_beam_search(
     k: int,
     beam_width: int,
     visited_mask: np.ndarray | None = None,
+    exclude_mask: np.ndarray | None = None,
 ) -> list[SearchResult]:
     """Beam searches for a chunk of *dataset points*, sharing scratch state.
 
@@ -289,6 +318,10 @@ def batch_point_beam_search(
 
     Returns one :class:`SearchResult` per point (``visited`` lists are not
     collected; builders that need them use :func:`beam_search`).
+
+    ``exclude_mask`` carries the streaming tier's tombstones, with
+    :func:`beam_search`'s semantics: flagged nodes route but are filtered
+    from each point's answers, and traversal accounting is mask-invariant.
     """
     if beam_width < k:
         raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
@@ -322,7 +355,7 @@ def batch_point_beam_search(
                     for dist, nbr in zip(dists.tolist(), fresh.tolist()):
                         if dist < bound:
                             bound = queue.insert(dist, nbr)
-        ids, dists = queue.top_k(k)
+        ids, dists = masked_top_k(queue, k, exclude_mask)
         results.append(
             SearchResult(
                 ids=ids,

@@ -290,6 +290,69 @@ class DistanceComputer:
             best_dists = cand_dists[keep]
         return best_ids, best_dists
 
+    def exact_knn_batch(
+        self, queries: np.ndarray, k: int, chunk_size: int = 262_144
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN of a query batch in one chunked dataset scan (counted).
+
+        Bit-identical per query to :meth:`exact_knn` — the same chunk
+        boundaries, one GEMV per query per chunk (never a GEMM, whose
+        column-blocked kernels round differently), and the same elementwise
+        norm algebra — but the dataset is sliced once per chunk for the whole
+        batch and the running top-k merge is one stable row-wise argsort
+        instead of a per-query lexsort.  The stable argsort reproduces the
+        lexsort tie-break exactly: within a row, candidate columns are laid
+        out in ascending-id order among equal distances (the running top-k
+        keeps ties id-sorted, and fresh chunk ids all exceed the previous
+        chunks'), so "stable on distance" equals "ascending id on ties".
+
+        Returns ``(ids, dists)`` of shape ``(n_queries, k)``, each row sorted
+        by ascending distance.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries must be (n_queries, {self.dim}), got {queries.shape}"
+            )
+        n_queries = queries.shape[0]
+        k = min(k, self.n)
+        if k == 0 or n_queries == 0:
+            return (
+                np.empty((n_queries, k), dtype=np.int64),
+                np.empty((n_queries, k), dtype=np.float64),
+            )
+        q_sqs = np.array([float(q @ q) for q in queries])
+        best_ids = np.empty((n_queries, 0), dtype=np.int64)
+        best_dists = np.empty((n_queries, 0), dtype=np.float64)
+        row_sel = np.arange(n_queries)[:, None]
+        for start in range(0, self.n, chunk_size):
+            stop = min(start + chunk_size, self.n)
+            self.count += (stop - start) * n_queries
+            chunk = self._data64[start:stop]
+            gemv = np.empty((n_queries, stop - start), dtype=np.float64)
+            for j in range(n_queries):
+                np.dot(chunk, queries[j], out=gemv[j])
+            sq = self._sq_norms[start:stop][None, :] - 2.0 * gemv + q_sqs[:, None]
+            np.maximum(sq, 0.0, out=sq)
+            np.sqrt(sq, out=sq)
+            cand_dists = np.concatenate([best_dists, sq], axis=1)
+            cand_ids = np.concatenate(
+                [
+                    best_ids,
+                    np.broadcast_to(
+                        np.arange(start, stop, dtype=np.int64),
+                        (n_queries, stop - start),
+                    ),
+                ],
+                axis=1,
+            )
+            keep = np.argsort(cand_dists, axis=1, kind="stable")[:, :k]
+            best_dists = cand_dists[row_sel, keep]
+            best_ids = cand_ids[row_sel, keep]
+        return best_ids, best_dists
+
     def memory_bytes(self) -> int:
         """Bytes held by the raw data plus cached norms (float64 copy included)."""
         return self.data.nbytes + self._data64.nbytes + self._sq_norms.nbytes

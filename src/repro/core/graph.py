@@ -130,6 +130,20 @@ class Graph:
         """Out-degree of ``node``."""
         return int(self._adj[node].size)
 
+    def grow(self, new_n: int) -> None:
+        """Extend the id space to ``new_n`` nodes (streaming inserts).
+
+        New nodes ``n..new_n-1`` start with empty adjacency; existing edges
+        are untouched.  Shrinking is not supported — the streaming tier
+        never reuses a node id, so the id space only grows.
+        """
+        if new_n < self.n:
+            raise ValueError(
+                f"cannot shrink a graph from {self.n} to {new_n} nodes"
+            )
+        self._adj.extend([_EMPTY_ROW] * (new_n - self.n))
+        self.n = new_n
+
     def num_edges(self) -> int:
         """Total number of directed edges."""
         return int(sum(a.size for a in self._adj))

@@ -18,6 +18,7 @@ independently.  This module is that apparatus:
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass
 
@@ -366,19 +367,55 @@ def build_ii_graph(
     )
 
 
+def _accepts_stats(diversifier) -> bool:
+    """Whether a diversifier callable accepts a ``stats=`` keyword.
+
+    Decided from the signature, never by calling the diversifier: probing
+    with ``stats=`` and catching ``TypeError`` would also swallow genuine
+    ``TypeError``s raised *inside* a stats-accepting diversifier and then
+    silently re-run it without stats, double-charging distance calls.
+    """
+    try:
+        return _ACCEPTS_STATS_CACHE[diversifier]
+    except TypeError:  # unhashable callable: inspect without caching
+        return _accepts_stats_uncached(diversifier)
+    except KeyError:
+        accepts = _accepts_stats_uncached(diversifier)
+        _ACCEPTS_STATS_CACHE[diversifier] = accepts
+        return accepts
+
+
+def _accepts_stats_uncached(diversifier) -> bool:
+    try:
+        parameters = inspect.signature(diversifier).parameters
+    except (TypeError, ValueError):  # builtins/exotic callables: be conservative
+        return False
+    if "stats" in parameters:
+        kind = parameters["stats"].kind
+        return kind not in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.VAR_POSITIONAL,
+        )
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+_ACCEPTS_STATS_CACHE: dict = {}
+
+
 def _prune_with_stats(
     diversifier, bare, params, computer, cand_ids, cand_dists, max_degree, stats
 ):
     """Run the prune once, with stats, without double-charging distances."""
     if bare is not None:
         return bare(computer, cand_ids, cand_dists, max_degree, stats=stats, **params)
-    try:
+    if _accepts_stats(diversifier):
         return diversifier(
             computer, cand_ids, cand_dists, max_degree, stats=stats
         )
-    except TypeError:
-        kept = diversifier(computer, cand_ids, cand_dists, max_degree)
-        examined = min(len(cand_ids), max_degree + (len(cand_ids) - len(kept)))
-        stats.examined += examined
-        stats.rejected += max(0, examined - len(kept))
-        return kept
+    kept = diversifier(computer, cand_ids, cand_dists, max_degree)
+    examined = min(len(cand_ids), max_degree + (len(cand_ids) - len(kept)))
+    stats.examined += examined
+    stats.rejected += max(0, examined - len(kept))
+    return kept

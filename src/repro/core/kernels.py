@@ -377,8 +377,15 @@ def _search_chunk(
     k: int,
     beam_width: int,
     backend: str,
+    exclude_mask: np.ndarray | None = None,
 ) -> list[SearchResult]:
-    """Run one lockstep chunk; lane ``j`` answers ``score_segments``'s query ``j``."""
+    """Run one lockstep chunk; lane ``j`` answers ``score_segments``'s query ``j``.
+
+    ``exclude_mask`` (the streaming tier's tombstones) only affects beam
+    finalization — each lane's finished beam is filtered before the ``k``
+    truncation, mirroring :func:`~repro.core.beam_search.masked_top_k` —
+    so traversal, hops, and distance accounting are mask-invariant.
+    """
     n_lanes = len(seeds_per_lane)
     beam_d = np.full((n_lanes, beam_width), np.inf)
     beam_i = np.full((n_lanes, beam_width), -1, dtype=np.int64)
@@ -444,11 +451,18 @@ def _search_chunk(
 
     results = []
     for lane in range(n_lanes):
-        k_eff = min(k, int(sizes[lane]))
+        size = int(sizes[lane])
+        if exclude_mask is None:
+            ids = beam_i[lane, :min(k, size)].copy()
+            dists = beam_d[lane, :min(k, size)].copy()
+        else:
+            keep = ~exclude_mask[beam_i[lane, :size]]
+            ids = beam_i[lane, :size][keep][:k]
+            dists = beam_d[lane, :size][keep][:k]
         results.append(
             SearchResult(
-                ids=beam_i[lane, :k_eff].copy(),
-                dists=beam_d[lane, :k_eff].copy(),
+                ids=ids,
+                dists=dists,
                 distance_calls=int(calls[lane]),
                 hops=int(hops[lane]),
             )
@@ -468,6 +482,7 @@ def batch_search(
     beam_width: int,
     backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    exclude_mask: np.ndarray | None = None,
 ) -> list[SearchResult]:
     """Answer a batch of external queries with the multi-query beam kernel.
 
@@ -476,6 +491,8 @@ def batch_search(
     seeds, at any ``chunk_size`` and backend.  ``backend="scalar"`` runs the
     reference path itself.  ``visited``/``visited_dists`` are not collected
     (builders that consume them use :func:`beam_search` directly).
+    ``exclude_mask`` flags tombstoned nodes: traversed, never returned
+    (see :func:`beam_search`); traversal accounting is mask-invariant.
     """
     backend = resolve_backend(backend)
     if beam_width < k:
@@ -494,7 +511,7 @@ def batch_search(
         return [
             beam_search(
                 graph, computer, query, seeds, k, beam_width,
-                visited_mask=scratch,
+                visited_mask=scratch, exclude_mask=exclude_mask,
             )
             for query, seeds in zip(queries, seeds_list)
         ]
@@ -515,7 +532,7 @@ def batch_search(
         results.extend(
             _search_chunk(
                 graph, computer, seeds_list[start:stop], score, k, beam_width,
-                backend,
+                backend, exclude_mask=exclude_mask,
             )
         )
     return results
@@ -614,17 +631,20 @@ def batch_point_search(
     beam_width: int,
     backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    exclude_mask: np.ndarray | None = None,
 ) -> list[SearchResult]:
     """Kernel variant of :func:`batch_point_beam_search` (queries are dataset
     points given by id; cached squared norms cover both sides).
 
     Bit-identical to :func:`batch_point_beam_search` per point at any chunk
-    size and backend.
+    size and backend.  ``exclude_mask`` flags tombstoned nodes: traversed,
+    never returned; traversal accounting is mask-invariant.
     """
     backend = resolve_backend(backend)
     if backend == "scalar":
         return batch_point_beam_search(
-            graph, computer, points, seeds_per_point, k, beam_width
+            graph, computer, points, seeds_per_point, k, beam_width,
+            exclude_mask=exclude_mask,
         )
     if beam_width < k:
         raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
@@ -650,7 +670,7 @@ def batch_point_search(
         results.extend(
             _search_chunk(
                 graph, computer, seeds_list[start:stop], score, k, beam_width,
-                backend,
+                backend, exclude_mask=exclude_mask,
             )
         )
     return results

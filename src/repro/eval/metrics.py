@@ -17,15 +17,19 @@ __all__ = ["recall", "ground_truth", "mean_recall"]
 def recall(returned_ids: np.ndarray, true_ids: np.ndarray) -> float:
     """Fraction of the true k-NN ids present in the returned ids.
 
-    Follows the paper's definition: ``|returned ∩ true| / k`` with
-    ``k = len(true_ids)``.
+    Follows the paper's definition: ``|returned ∩ true| / |true|``.  Both
+    sides are treated as *sets*: a duplicated id in ``true_ids`` (possible
+    when a ground-truth generator resolves distance ties inconsistently)
+    counts once in the denominator and at most once as a hit, so recall
+    stays in ``[0, 1]`` and a single returned id can never be credited
+    twice.
     """
-    true_ids = np.asarray(true_ids).ravel()
-    if true_ids.size == 0:
+    true = np.unique(np.asarray(true_ids).ravel())
+    if true.size == 0:
         raise ValueError("true_ids must be non-empty")
     returned = set(np.asarray(returned_ids).ravel().tolist())
-    hits = sum(1 for t in true_ids.tolist() if t in returned)
-    return hits / true_ids.size
+    hits = sum(1 for t in true.tolist() if t in returned)
+    return hits / true.size
 
 
 def mean_recall(returned: list[np.ndarray], truth: list[np.ndarray]) -> float:
@@ -44,11 +48,19 @@ def ground_truth(
 
     Returns ``(ids, dists)`` of shape ``(n_queries, k)``.  Not charged to
     any index's accounting (a throwaway computer is used).
+
+    Raises
+    ------
+    ValueError
+        If ``k`` exceeds the dataset size — a silently narrower answer
+        matrix would mis-align every caller zipping against ``k``-wide
+        index answers.
     """
     computer = DistanceComputer(data)
+    if k > computer.n:
+        raise ValueError(
+            f"k={k} exceeds the dataset size n={computer.n}; "
+            "ground truth cannot be truncated without mis-aligning callers"
+        )
     queries = np.atleast_2d(np.asarray(queries))
-    ids = np.empty((queries.shape[0], min(k, computer.n)), dtype=np.int64)
-    dists = np.empty_like(ids, dtype=np.float64)
-    for row, query in enumerate(queries):
-        ids[row], dists[row] = computer.exact_knn(query, k)
-    return ids, dists
+    return computer.exact_knn_batch(queries, k)

@@ -114,6 +114,7 @@ def _worker_init(
         k=k,
         beam_width=beam_width,
         kernel=kernel,
+        seed_indices=arrays.get("seed_indices"),
         segments=segments,
     )
 
@@ -127,6 +128,7 @@ def _worker_run_chunk(query_indices: np.ndarray) -> list[tuple]:
         _WORKER["k"],
         _WORKER["beam_width"],
         _WORKER["kernel"],
+        _WORKER["seed_indices"],
     )
     return [
         (
@@ -150,6 +152,7 @@ def _answer_chunk(
     k: int,
     beam_width: int | None,
     kernel: str | None,
+    seed_indices: np.ndarray | None = None,
 ) -> list[QueryOutcome]:
     """Answer one chunk of queries, batched through the beam kernel.
 
@@ -159,21 +162,30 @@ def _answer_chunk(
     one multi-query kernel invocation.  Answers, hop counts, and distance
     accounting are bit-identical either way; only per-query latency
     attribution differs (a batched chunk reports the chunk's mean).
+
+    ``seed_indices`` decouples randomness from batch position: query ``i``
+    is answered under ``seed_query_rng(seed_indices[i])`` while the outcome
+    still reports position ``i``.  The serving engine uses this to key
+    randomness to query *content*, so an answer does not depend on where in
+    a micro-batch the query landed.
     """
     from ..core.kernels import resolve_backend
 
     query_indices = np.asarray(query_indices, dtype=np.int64)
+    rng_indices = (
+        query_indices if seed_indices is None else seed_indices[query_indices]
+    )
     if resolve_backend(kernel) == "scalar":
         return [
-            _answer_one(index, queries[i], int(i), k, beam_width)
-            for i in query_indices
+            _answer_one(index, queries[i], int(i), k, beam_width, int(r))
+            for i, r in zip(query_indices, rng_indices)
         ]
     start = time.perf_counter()
     results = index.search_batch(
         queries[query_indices],
         k=k,
         beam_width=beam_width,
-        query_indices=query_indices,
+        query_indices=rng_indices,
         kernel=kernel,
     )
     per_query_s = (time.perf_counter() - start) / max(len(results), 1)
@@ -198,9 +210,10 @@ def _answer_one(
     query_index: int,
     k: int,
     beam_width: int | None,
+    seed_index: int | None = None,
 ) -> QueryOutcome:
     """Answer one query under its deterministic per-query RNG."""
-    index.seed_query_rng(query_index)
+    index.seed_query_rng(query_index if seed_index is None else seed_index)
     start = time.perf_counter()
     result = index.search(query, k=k, beam_width=beam_width)
     elapsed = time.perf_counter() - start
@@ -224,6 +237,7 @@ def run_batch(
     n_workers: int = 1,
     chunks_per_worker: int = 4,
     kernel: str | None = None,
+    seed_indices: np.ndarray | None = None,
 ) -> BatchResult:
     """Answer a query batch, sequentially or across worker processes.
 
@@ -235,20 +249,37 @@ def run_batch(
     Either way the outcomes come back ordered by query index and are
     bit-identical for a fixed index seed — across worker counts, chunkings,
     and kernel backends.
+
+    ``seed_indices`` (optional, one per query) replaces each query's
+    positional RNG index: query ``i`` runs under
+    ``seed_query_rng(seed_indices[i])`` but still reports
+    ``query_index=i``.  The serving tier derives these from query content
+    so identical queries get identical answers regardless of micro-batch
+    composition.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     queries = np.atleast_2d(np.asarray(queries))
     n_queries = queries.shape[0]
+    if seed_indices is not None:
+        seed_indices = np.asarray(seed_indices, dtype=np.int64)
+        if seed_indices.shape != (n_queries,):
+            raise ValueError(
+                f"seed_indices must have shape ({n_queries},), "
+                f"got {seed_indices.shape}"
+            )
     start = time.perf_counter()
     if n_workers == 1 or n_queries <= 1:
         outcomes = _answer_chunk(
-            index, queries, np.arange(n_queries), k, beam_width, kernel
+            index, queries, np.arange(n_queries), k, beam_width, kernel,
+            seed_indices,
         )
         return BatchResult(outcomes, time.perf_counter() - start, 1)
 
     shared = dict(index.shared_query_state())
     shared["batch_queries"] = queries
+    if seed_indices is not None:
+        shared["seed_indices"] = seed_indices
     pack = SharedArrayPack(shared)
     index_bytes = pickle.dumps(index)
     n_workers = min(n_workers, n_queries)

@@ -37,18 +37,17 @@ def format_query_stats(measurement) -> str:
     """Render a :class:`~repro.eval.runner.QueryMeasurement` latency/throughput
     summary (the ``--stats`` output of the CLI demo).
 
-    Disk-tier counters (PQ estimates, logical page reads) appear only when
-    the workload actually ran against a disk tier — RAM-mode output is
-    unchanged.
+    Disk-tier counters (PQ estimates, logical page reads) appear exactly when
+    the workload ran against a disk tier (``measurement.tier_mode ==
+    "disk"``), even if every counter happens to be zero — keying on counter
+    truthiness would make such a run indistinguishable from RAM mode.
     """
     rows = [
         ["recall", measurement.recall],
         ["mean dist calls/query", measurement.mean_distance_calls],
         ["total dist calls", measurement.total_distance_calls],
     ]
-    if getattr(measurement, "total_approx_calls", 0) or getattr(
-        measurement, "total_page_reads", 0
-    ):
+    if getattr(measurement, "tier_mode", "ram") == "disk":
         rows += [
             ["mean approx calls/query", measurement.mean_approx_calls],
             ["total approx calls", measurement.total_approx_calls],

@@ -70,6 +70,10 @@ class QueryMeasurement:
     mean_page_reads: float = 0.0
     total_approx_calls: int = 0
     total_page_reads: int = 0
+    # which storage tier answered the workload ("ram" or "disk") — reporting
+    # keys the disk-counter section on this, not on counter truthiness, so a
+    # disk run that happened to read zero pages still renders as a disk run
+    tier_mode: str = "ram"
 
 
 @dataclass
@@ -162,6 +166,7 @@ def run_workload(
         mean_page_reads=float(np.mean(pages)),
         total_approx_calls=batch.total_approx_calls,
         total_page_reads=batch.total_page_reads,
+        tier_mode="disk" if getattr(index, "_disk_tier", None) is not None else "ram",
     )
 
 

@@ -1,0 +1,360 @@
+"""Concurrent serving front end over the streaming index tier.
+
+:class:`ServingEngine` turns :class:`~repro.core.streaming.StreamingIndex`
+into an online service shape: callers ``await engine.search(q)`` while a
+background batcher coalesces concurrent requests into micro-batches for the
+vectorized multi-query beam kernel, and ``insert`` / ``delete`` /
+``consolidate`` interleave with query traffic under a mutation lock.
+
+Two properties keep the serving layer *transparent* — answers are exactly
+what the offline protocol would produce, regardless of traffic shape:
+
+* **Content-addressed randomness.**  A query's seed-selection RNG is keyed
+  to CRC-32 of its float32 bytes (via ``run_batch``'s ``seed_indices``), not
+  to its position in whatever micro-batch it landed in.  Identical queries
+  therefore get identical answers whether they arrive alone, together, or in
+  different batch compositions.
+* **Version-keyed caching.**  The LRU answer cache keys on
+  ``(query bytes, k, beam width, index.version)``; every mutation bumps the
+  index version, so a cache hit can only ever return the answer the current
+  graph state would produce.  Hits are free and provably answer-preserving;
+  the cache never needs explicit invalidation.
+
+Latency is recorded per request from enqueue to completion (queueing +
+batching delay + kernel time), so the p50/p95/p99 figures reflect what a
+caller actually observed under mixed load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .parallel import run_batch
+from .runner import QueryMeasurement
+
+__all__ = ["ServingEngine", "ServingReport", "query_seed_index"]
+
+
+def query_seed_index(query: np.ndarray) -> int:
+    """Deterministic RNG index for a query, derived from its content.
+
+    CRC-32 over the contiguous float32 bytes (the same checksum the dataset
+    loader uses for cache keys).  Two bit-identical queries map to the same
+    seed index, which is what makes cached answers and micro-batched answers
+    indistinguishable from sequential ones.
+    """
+    return int(zlib.crc32(np.ascontiguousarray(query, dtype=np.float32).tobytes()))
+
+
+@dataclass
+class ServingReport:
+    """Client-observed accounting for one engine lifetime (or interval)."""
+
+    n_queries: int = 0
+    n_batches: int = 0
+    cache_hits: int = 0
+    total_distance_calls: int = 0
+    wall_time_s: float = 0.0
+    latencies_s: list = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        served = self.n_queries - self.cache_hits
+        return served / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def qps(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.n_queries / self.wall_time_s
+
+    def percentile_s(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def measurement(self, recall: float, beam_width: int) -> QueryMeasurement:
+        """Fold into the standard reporting row (client-observed latency)."""
+        lat = np.asarray(self.latencies_s) if self.latencies_s else np.zeros(1)
+        return QueryMeasurement(
+            beam_width=beam_width,
+            recall=recall,
+            mean_distance_calls=(
+                self.total_distance_calls / self.n_queries if self.n_queries else 0.0
+            ),
+            mean_hops=0.0,
+            mean_time_s=float(lat.mean()),
+            p50_time_s=self.percentile_s(50),
+            p95_time_s=self.percentile_s(95),
+            p99_time_s=self.percentile_s(99),
+            qps=self.qps,
+            total_distance_calls=self.total_distance_calls,
+            wall_time_s=self.wall_time_s,
+        )
+
+
+@dataclass
+class _Pending:
+    """One enqueued query awaiting its micro-batch."""
+
+    query: np.ndarray
+    k: int
+    beam_width: int
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class ServingEngine:
+    """Micro-batching async front end with an answer-preserving LRU cache.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.streaming.StreamingIndex` (any index
+        exposing ``search_batch``, ``version``, and the mutation methods
+    works, but tombstone semantics come from the streaming tier).
+    k, beam_width:
+        Defaults for :meth:`search`; callers may override per query, and
+        the batcher groups same-``(k, width)`` requests into one kernel
+        invocation.
+    max_batch:
+        Micro-batch size cap: the batcher dispatches as soon as this many
+        requests are waiting.
+    max_delay_s:
+        Batching window: a lone request waits at most this long for company
+        before dispatching (the latency cost of batching is bounded by it).
+    cache_size:
+        LRU capacity in answers.  ``0`` disables caching.
+    n_workers, kernel:
+        Execution of each micro-batch, passed to ``run_batch``.  ``1`` runs
+        in-process through the multi-query kernel; ``>1`` shards each batch
+        over a worker pool (pool start-up per batch — only worthwhile for
+        large batches).
+    """
+
+    def __init__(
+        self,
+        index,
+        k: int = 10,
+        beam_width: int | None = None,
+        max_batch: int = 32,
+        max_delay_s: float = 0.002,
+        cache_size: int = 1024,
+        n_workers: int = 1,
+        kernel: str | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.index = index
+        self.k = k
+        self.beam_width = beam_width if beam_width is not None else max(
+            getattr(index, "default_beam_width", 64), k
+        )
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.cache_size = cache_size
+        self.n_workers = n_workers
+        self.kernel = kernel
+        self.report = ServingReport()
+        self._cache: OrderedDict = OrderedDict()
+        self._queue: asyncio.Queue | None = None
+        self._batcher: asyncio.Task | None = None
+        self._mutation_lock = asyncio.Lock()
+        self._closed = False
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    async def search(
+        self,
+        query: np.ndarray,
+        k: int | None = None,
+        beam_width: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Answer one query; returns ``(ids, dists)``.
+
+        Cache hits resolve immediately; misses join the next micro-batch.
+        """
+        if self._closed:
+            raise RuntimeError("ServingEngine is closed")
+        self._ensure_batcher()
+        k = self.k if k is None else k
+        width = max(beam_width or max(self.beam_width, k), k)
+        query = np.ascontiguousarray(query, dtype=np.float32).ravel()
+        start = time.perf_counter()
+        cached = self._cache_get(query, k, width)
+        if cached is not None:
+            self.report.n_queries += 1
+            self.report.cache_hits += 1
+            self.report.latencies_s.append(time.perf_counter() - start)
+            return cached
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Pending(query, k, width, future, start))
+        return await future
+
+    def _ensure_batcher(self) -> None:
+        if self._batcher is None or self._batcher.done():
+            self._queue = self._queue or asyncio.Queue()
+            self._batcher = asyncio.get_running_loop().create_task(
+                self._batch_loop()
+            )
+            if self._started_at is None:
+                self._started_at = time.perf_counter()
+
+    async def _batch_loop(self) -> None:
+        while not self._closed:
+            item = await self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + self.max_delay_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    extra = await asyncio.wait_for(
+                        self._queue.get(), timeout=max(remaining, 0.0)
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if extra is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(extra)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list) -> None:
+        """Run one micro-batch under the mutation lock, then resolve futures."""
+
+        async def _run() -> None:
+            async with self._mutation_lock:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._execute_batch, batch
+                )
+
+        asyncio.get_running_loop().create_task(_run())
+
+    def _execute_batch(self, batch: list) -> None:
+        loop = self._batcher.get_loop()
+        groups: dict[tuple[int, int], list] = {}
+        for item in batch:
+            groups.setdefault((item.k, item.beam_width), []).append(item)
+        for (k, width), items in groups.items():
+            answers: list = [None] * len(items)
+            misses: list[int] = []
+            for pos, item in enumerate(items):
+                # re-check the cache: an identical query may have been
+                # answered by an earlier group of this same batch round
+                cached = self._cache_get(item.query, k, width)
+                if cached is not None:
+                    answers[pos] = cached
+                    self.report.cache_hits += 1
+                else:
+                    misses.append(pos)
+            if misses:
+                queries = np.stack([items[pos].query for pos in misses])
+                seeds = np.array(
+                    [query_seed_index(items[pos].query) for pos in misses],
+                    dtype=np.int64,
+                )
+                result = run_batch(
+                    self.index,
+                    queries,
+                    k=k,
+                    beam_width=width,
+                    n_workers=self.n_workers,
+                    kernel=self.kernel,
+                    seed_indices=seeds,
+                )
+                self.report.n_batches += 1
+                for pos, outcome in zip(misses, result.outcomes):
+                    answer = (outcome.ids, outcome.dists)
+                    answers[pos] = answer
+                    self._cache_put(items[pos].query, k, width, answer)
+                    self.report.total_distance_calls += outcome.distance_calls
+            done = time.perf_counter()
+            for item, answer in zip(items, answers):
+                self.report.n_queries += 1
+                self.report.latencies_s.append(done - item.enqueued_at)
+                loop.call_soon_threadsafe(_resolve, item.future, answer)
+        self.report.wall_time_s = done - (self._started_at or done)
+
+    # ------------------------------------------------------------------
+    # answer cache (version-keyed: hits cannot change answers)
+    # ------------------------------------------------------------------
+    def _cache_key(self, query: np.ndarray, k: int, width: int) -> tuple:
+        return (query.tobytes(), k, width, getattr(self.index, "version", 0))
+
+    def _cache_get(self, query, k, width):
+        if not self.cache_size:
+            return None
+        key = self._cache_key(query, k, width)
+        answer = self._cache.get(key)
+        if answer is not None:
+            self._cache.move_to_end(key)
+        return answer
+
+    def _cache_put(self, query, k, width, answer) -> None:
+        if not self.cache_size:
+            return
+        self._cache[self._cache_key(query, k, width)] = answer
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # mutations (serialized against query batches)
+    # ------------------------------------------------------------------
+    async def insert(self, vectors: np.ndarray) -> np.ndarray:
+        """Insert a vector batch; returns the new ids."""
+        async with self._mutation_lock:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.index.insert, vectors
+            )
+
+    async def delete(self, ids) -> int:
+        """Tombstone ids; returns how many were newly deleted."""
+        async with self._mutation_lock:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.index.delete, ids
+            )
+
+    async def consolidate(self):
+        """Run a consolidation pass; returns its report."""
+        async with self._mutation_lock:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.index.consolidate
+            )
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Drain the batcher and stop accepting queries."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None and not self._batcher.done():
+            await self._queue.put(None)
+            await self._batcher
+        # one lock round-trip so any in-flight dispatch finishes first
+        async with self._mutation_lock:
+            pass
+
+
+def _resolve(future: asyncio.Future, answer) -> None:
+    if not future.done():
+        future.set_result(answer)

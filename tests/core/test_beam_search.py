@@ -169,3 +169,49 @@ def test_batch_point_beam_search_validates_seed_range(small_graph):
         batch_point_beam_search(
             graph, computer, [0], [[-3]], k=2, beam_width=8
         )
+
+
+# ----------------------------------------------------------------------
+# tombstone exclusion (streaming tier)
+# ----------------------------------------------------------------------
+def test_exclude_mask_filters_answers_not_traversal(line_world):
+    computer, graph = line_world
+    query = np.array([13.2])
+    plain = beam_search(graph, computer, query, [0], k=3, beam_width=20)
+    mark = computer.checkpoint()
+    exclude = np.zeros(20, dtype=bool)
+    exclude[[13, 14]] = True
+    masked = beam_search(
+        graph, computer, query, [0], k=3, beam_width=20, exclude_mask=exclude
+    )
+    # excluded nodes still route: identical traversal cost...
+    assert computer.since(mark) == plain.distance_calls
+    assert masked.hops == plain.hops
+    # ...but never appear in the answer, which backfills from the beam
+    assert not set(masked.ids.tolist()) & {13, 14}
+    assert len(masked.ids) == 3
+
+
+def test_exclude_mask_none_is_identity(line_world):
+    computer, graph = line_world
+    query = np.array([7.7])
+    plain = beam_search(graph, computer, query, [0], k=4, beam_width=12)
+    masked = beam_search(
+        graph, computer, query, [0], k=4, beam_width=12,
+        exclude_mask=np.zeros(20, dtype=bool),
+    )
+    assert np.array_equal(plain.ids, masked.ids)
+    assert np.array_equal(plain.dists, masked.dists)
+
+
+def test_exclude_mask_can_shrink_result(line_world):
+    computer, graph = line_world
+    # nearly everything excluded -> fewer than k live answers remain
+    exclude = np.ones(20, dtype=bool)
+    exclude[[0, 1]] = False
+    result = beam_search(
+        graph, computer, np.array([19.0]), [0], k=5, beam_width=20,
+        exclude_mask=exclude,
+    )
+    assert result.ids.size == 2
+    assert not exclude[result.ids].any()

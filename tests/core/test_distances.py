@@ -238,3 +238,43 @@ def test_points_to_many_segmented_matches_one_to_many(computer):
     for j in range(3):
         ref = computer.one_to_many(int(points[j]), ids[starts[j]:stops[j]])
         assert np.array_equal(got[starts[j]:stops[j]], ref)
+
+
+# ----------------------------------------------------------------------
+# batched exact k-NN (the vectorized ground-truth path)
+# ----------------------------------------------------------------------
+def test_exact_knn_batch_matches_per_query(computer):
+    gen = np.random.default_rng(5)
+    queries = gen.normal(size=(6, 8)).astype(np.float32)
+    ids, dists = computer.exact_knn_batch(queries, 7)
+    assert ids.shape == (6, 7) and dists.shape == (6, 7)
+    for j in range(queries.shape[0]):
+        ref_ids, ref_dists = computer.exact_knn(queries[j], 7)
+        assert np.array_equal(ids[j], ref_ids)
+        assert np.array_equal(dists[j], ref_dists)
+
+
+def test_exact_knn_batch_chunked_matches_unchunked(computer):
+    gen = np.random.default_rng(6)
+    queries = gen.normal(size=(4, 8)).astype(np.float32)
+    whole_ids, whole_dists = computer.exact_knn_batch(queries, 10)
+    # chunk boundary falls mid-dataset, exercising the running-top-k merge
+    chunk_ids, chunk_dists = computer.exact_knn_batch(queries, 10, chunk_size=7)
+    assert np.array_equal(whole_ids, chunk_ids)
+    assert np.array_equal(whole_dists, chunk_dists)
+
+
+def test_exact_knn_batch_counts_all_comparisons(computer):
+    queries = np.random.default_rng(7).normal(size=(3, 8)).astype(np.float32)
+    before = computer.checkpoint()
+    computer.exact_knn_batch(queries, 5)
+    assert computer.since(before) == 3 * computer.n
+
+
+def test_exact_knn_batch_validation(computer):
+    with pytest.raises(ValueError):
+        computer.exact_knn_batch(np.zeros((2, 3)), 5)  # wrong dim
+    with pytest.raises(ValueError):
+        computer.exact_knn_batch(np.zeros((2, 8)), 5, chunk_size=0)
+    ids, dists = computer.exact_knn_batch(np.zeros((0, 8)), 5)
+    assert ids.shape == (0, 5) and dists.shape == (0, 5)

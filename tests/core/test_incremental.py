@@ -149,3 +149,58 @@ def test_two_point_dataset():
     )
     result = build_ii_graph(computer, max_degree=4, beam_width=8)
     assert result.graph.degree(0) + result.graph.degree(1) >= 2
+
+
+# ----------------------------------------------------------------------
+# stats-signature detection for custom diversifiers
+# ----------------------------------------------------------------------
+def test_custom_diversifier_internal_typeerror_propagates(computer):
+    """A stats-accepting diversifier whose own body raises TypeError.
+
+    Signature detection must use introspection, not try/except around the
+    call: probing with ``stats=`` and falling back on TypeError would
+    silently swallow this bug (and double-call the diversifier).
+    """
+
+    def broken(comp, cand_ids, cand_dists, max_degree, stats=None):
+        raise TypeError("bug inside the diversifier body")
+
+    with pytest.raises(TypeError, match="bug inside"):
+        build_ii_graph(
+            computer, max_degree=8, beam_width=16, diversify=broken,
+            rng=np.random.default_rng(0),
+        )
+
+
+def test_custom_diversifier_without_stats_still_counted(computer):
+    calls = []
+
+    def plain(comp, cand_ids, cand_dists, max_degree):
+        calls.append(len(cand_ids))
+        order = np.argsort(cand_dists, kind="stable")
+        return cand_ids[order][:max_degree]
+
+    result = build_ii_graph(
+        computer, max_degree=8, beam_width=16, diversify=plain,
+        rng=np.random.default_rng(0),
+    )
+    assert calls, "custom diversifier was never invoked"
+    # the estimated pruning accounting still accumulates
+    assert result.prune_stats.examined > 0
+
+
+def test_custom_diversifier_with_kwargs_receives_stats(computer):
+    seen = []
+
+    def kwargs_style(comp, cand_ids, cand_dists, max_degree, **extra):
+        seen.append("stats" in extra)
+        order = np.argsort(cand_dists, kind="stable")
+        return cand_ids[order][:max_degree]
+
+    build_ii_graph(
+        computer, max_degree=8, beam_width=16, diversify=kwargs_style,
+        rng=np.random.default_rng(0),
+    )
+    # primary prunes use the bare 4-arg call; overflow re-prunes go through
+    # the stats path and must land in **extra for a VAR_KEYWORD diversifier
+    assert seen and any(seen), "VAR_KEYWORD diversifier never received stats"

@@ -275,3 +275,56 @@ def test_batch_point_search_validates_seed_range():
     with pytest.raises(ValueError, match="outside the graph's node range"):
         batch_point_search(graph, DistanceComputer(data), [0], [[-1]], k=1,
                            beam_width=4, backend="python")
+
+
+# ----------------------------------------------------------------------
+# tombstone exclusion: kernel path bit-identical to scalar masked filter
+# ----------------------------------------------------------------------
+def test_batch_search_exclude_mask_matches_scalar(small_graph):
+    computer, graph = small_graph
+    gen = np.random.default_rng(17)
+    queries = gen.normal(size=(8, computer.dim)).astype(np.float32)
+    exclude = np.zeros(graph.n, dtype=bool)
+    exclude[gen.choice(graph.n, size=40, replace=False)] = True
+    seeds = [
+        np.sort(gen.choice(np.flatnonzero(~exclude), size=4, replace=False))
+        for _ in range(queries.shape[0])
+    ]
+    kernel_results = batch_search(
+        graph, computer, queries, seeds, k=10, beam_width=32,
+        backend="python", exclude_mask=exclude,
+    )
+    for j in range(queries.shape[0]):
+        mark = computer.checkpoint()
+        ref = beam_search(
+            graph, computer, queries[j], seeds[j], k=10, beam_width=32,
+            exclude_mask=exclude,
+        )
+        assert np.array_equal(kernel_results[j].ids, ref.ids)
+        assert np.array_equal(kernel_results[j].dists, ref.dists)
+        assert kernel_results[j].distance_calls == computer.since(mark)
+        assert not exclude[kernel_results[j].ids].any()
+
+
+def test_batch_point_search_exclude_mask_matches_scalar(small_graph):
+    computer, graph = small_graph
+    gen = np.random.default_rng(19)
+    exclude = np.zeros(graph.n, dtype=bool)
+    exclude[gen.choice(graph.n, size=30, replace=False)] = True
+    points = gen.choice(graph.n, size=6, replace=False).tolist()
+    seeds = [
+        np.sort(gen.choice(np.flatnonzero(~exclude), size=3, replace=False))
+        for _ in points
+    ]
+    kernel_results = batch_point_search(
+        graph, computer, points, seeds, k=8, beam_width=24,
+        backend="python", exclude_mask=exclude,
+    )
+    scalar_results = batch_point_beam_search(
+        graph, computer, points, seeds, k=8, beam_width=24,
+        exclude_mask=exclude,
+    )
+    for got, ref in zip(kernel_results, scalar_results):
+        assert np.array_equal(got.ids, ref.ids)
+        assert np.array_equal(got.dists, ref.dists)
+        assert not exclude[got.ids].any()

@@ -54,3 +54,37 @@ def test_ground_truth_sorted():
     data = np.random.default_rng(0).normal(size=(50, 4)).astype(np.float32)
     _, dists = ground_truth(data, data[:3], 10)
     assert np.all(np.diff(dists, axis=1) >= 0)
+
+
+def test_recall_duplicate_truth_ids_deduped():
+    # tie-heavy ground truth can carry repeated ids; each distinct true
+    # neighbor may be credited at most once
+    returned = np.array([1, 2, 3])
+    truth = np.array([1, 1, 1])
+    assert recall(returned, truth) == 1.0
+
+
+def test_recall_duplicate_returned_ids_not_double_counted():
+    returned = np.array([1, 1, 1])
+    truth = np.array([1, 2, 3])
+    assert recall(returned, truth) == pytest.approx(1 / 3)
+
+
+def test_ground_truth_k_exceeds_n_raises():
+    data = np.random.default_rng(0).normal(size=(10, 4)).astype(np.float32)
+    with pytest.raises(ValueError, match="exceeds"):
+        ground_truth(data, data[:2], 11)
+
+
+def test_ground_truth_matches_per_query_exact_knn():
+    from repro.core.distances import DistanceComputer
+
+    gen = np.random.default_rng(3)
+    data = gen.normal(size=(80, 6)).astype(np.float32)
+    queries = gen.normal(size=(7, 6)).astype(np.float32)
+    ids, dists = ground_truth(data, queries, 9)
+    computer = DistanceComputer(data)
+    for j in range(queries.shape[0]):
+        ref_ids, ref_dists = computer.exact_knn(queries[j], 9)
+        assert np.array_equal(ids[j], ref_ids)
+        assert np.array_equal(dists[j], ref_dists)

@@ -180,3 +180,46 @@ def test_search_batch_matches_search_loop(workload, hnsw, random_graph):
             assert np.array_equal(ref.dists, got.dists)
             assert ref.distance_calls == got.distance_calls
             assert ref.hops == got.hops
+
+
+# ----------------------------------------------------------------------
+# content-addressed seeding (the serving tier's determinism hook)
+# ----------------------------------------------------------------------
+def test_seed_indices_decouple_randomness_from_position(hnsw, workload):
+    _, queries, _ = workload
+    seed_indices = np.arange(100, 100 + queries.shape[0], dtype=np.int64)
+    base = run_batch(hnsw, queries, k=10, beam_width=32, seed_indices=seed_indices)
+    # reversing the batch must reproduce each query's answer: randomness is
+    # keyed to the seed index, not to the batch position
+    flipped = run_batch(
+        hnsw, queries[::-1].copy(), k=10, beam_width=32,
+        seed_indices=seed_indices[::-1].copy(),
+    )
+    for j in range(queries.shape[0]):
+        mirror = flipped.outcomes[queries.shape[0] - 1 - j]
+        assert np.array_equal(base.outcomes[j].ids, mirror.ids)
+        assert base.outcomes[j].distance_calls == mirror.distance_calls
+    # positions are still reported, not the seed indices
+    assert [o.query_index for o in base.outcomes] == list(range(queries.shape[0]))
+
+
+def test_seed_indices_identical_across_workers_and_backends(hnsw, workload):
+    _, queries, _ = workload
+    seed_indices = np.full(queries.shape[0], 42, dtype=np.int64)
+    base = run_batch(hnsw, queries, k=10, beam_width=32, seed_indices=seed_indices)
+    for kwargs in ({"n_workers": 2}, {"kernel": "scalar"}):
+        other = run_batch(
+            hnsw, queries, k=10, beam_width=32, seed_indices=seed_indices, **kwargs
+        )
+        for a, b in zip(base.outcomes, other.outcomes):
+            assert np.array_equal(a.ids, b.ids)
+            assert a.distance_calls == b.distance_calls
+
+
+def test_seed_indices_shape_validated(hnsw, workload):
+    _, queries, _ = workload
+    with pytest.raises(ValueError, match="seed_indices"):
+        run_batch(
+            hnsw, queries, k=10, beam_width=32,
+            seed_indices=np.array([1, 2], dtype=np.int64),
+        )

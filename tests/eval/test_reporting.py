@@ -62,3 +62,21 @@ def test_report_metadata_alone_triggers_json(tmp_path):
     payload = json.loads((tmp_path / "unit4.json").read_text())
     assert payload["metadata"]["scale"] == 0.05
     assert payload["tables"] == []
+
+
+def test_format_query_stats_keys_disk_section_on_tier_mode():
+    from repro.eval.reporting import format_query_stats
+    from repro.eval.runner import QueryMeasurement
+
+    ram = QueryMeasurement(
+        beam_width=32, recall=0.9, mean_distance_calls=10.0,
+        mean_hops=3.0, mean_time_s=0.001,
+    )
+    assert "page reads" not in format_query_stats(ram)
+
+    # a disk run that happened to read zero pages is still a disk run
+    disk = QueryMeasurement(
+        beam_width=32, recall=0.9, mean_distance_calls=10.0,
+        mean_hops=3.0, mean_time_s=0.001, tier_mode="disk",
+    )
+    assert "page reads" in format_query_stats(disk)

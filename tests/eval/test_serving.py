@@ -1,0 +1,204 @@
+"""Tests for the asyncio serving engine over the streaming tier.
+
+The transparency contract: micro-batching, caching, and concurrency must
+never change an answer — every response equals what a sequential,
+content-seeded ``index.search`` would return against the current graph.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingIndex
+from repro.eval.serving import ServingEngine, ServingReport, query_seed_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    gen = np.random.default_rng(21)
+    data = gen.standard_normal((200, 8)).astype(np.float32)
+    queries = gen.standard_normal((16, 8)).astype(np.float32)
+    index = StreamingIndex(
+        max_degree=8, build_beam_width=24, seed=3, default_beam_width=24
+    ).build(data)
+    return index, data, queries
+
+
+def _direct(index, query, k=5, width=24):
+    """The sequential reference: content-seeded single-query search."""
+    index.seed_query_rng(query_seed_index(query))
+    result = index.search(query, k=k, beam_width=width)
+    return result.ids, result.dists
+
+
+def test_concurrent_answers_equal_direct(setup):
+    index, _, queries = setup
+
+    async def scenario():
+        engine = ServingEngine(index, k=5, beam_width=24, max_batch=4)
+        answers = await asyncio.gather(*[engine.search(q) for q in queries])
+        await engine.close()
+        return answers
+
+    answers = asyncio.run(scenario())
+    for query, (ids, dists) in zip(queries, answers):
+        ref_ids, ref_dists = _direct(index, query)
+        assert np.array_equal(ids, ref_ids)
+        assert np.array_equal(dists, ref_dists)
+
+
+def test_batch_composition_does_not_change_answers(setup):
+    index, _, queries = setup
+
+    async def scenario(order, max_batch):
+        engine = ServingEngine(
+            index, k=5, beam_width=24, max_batch=max_batch, cache_size=0
+        )
+        answers = await asyncio.gather(
+            *[engine.search(queries[i]) for i in order]
+        )
+        await engine.close()
+        return {i: ids for i, (ids, _) in zip(order, answers)}
+
+    forward = asyncio.run(scenario(list(range(16)), max_batch=16))
+    backward = asyncio.run(scenario(list(reversed(range(16))), max_batch=3))
+    for i in range(16):
+        assert np.array_equal(forward[i], backward[i])
+
+
+def test_cache_hit_never_changes_answers(setup):
+    index, _, queries = setup
+
+    async def scenario():
+        engine = ServingEngine(index, k=5, beam_width=24, cache_size=64)
+        first = await asyncio.gather(*[engine.search(q) for q in queries])
+        again = await asyncio.gather(*[engine.search(q) for q in queries])
+        hits = engine.report.cache_hits
+        await engine.close()
+        return first, again, hits
+
+    first, again, hits = asyncio.run(scenario())
+    assert hits >= len(queries)
+    for (a_ids, a_dists), (b_ids, b_dists) in zip(first, again):
+        assert np.array_equal(a_ids, b_ids)
+        assert np.array_equal(a_dists, b_dists)
+
+
+def test_cache_lru_eviction_bounded():
+    gen = np.random.default_rng(31)
+    data = gen.standard_normal((120, 6)).astype(np.float32)
+    index = StreamingIndex(max_degree=6, build_beam_width=16, seed=1).build(data)
+    queries = gen.standard_normal((10, 6)).astype(np.float32)
+
+    async def scenario():
+        engine = ServingEngine(index, k=3, beam_width=16, cache_size=4)
+        for q in queries:
+            await engine.search(q)
+        size = len(engine._cache)
+        await engine.close()
+        return size
+
+    assert asyncio.run(scenario()) <= 4
+
+
+def test_mutations_invalidate_cached_answers(setup):
+    index, _, queries = setup
+
+    async def scenario():
+        engine = ServingEngine(index, k=5, beam_width=24)
+        ids, _ = await engine.search(queries[0])
+        doomed = ids[:2]
+        await engine.delete(doomed)
+        fresh_ids, _ = await engine.search(queries[0])
+        await engine.close()
+        return doomed, fresh_ids
+
+    doomed, fresh_ids = asyncio.run(scenario())
+    assert not np.intersect1d(fresh_ids, doomed).size
+    ref_ids, _ = _direct(index, queries[0])
+    assert np.array_equal(fresh_ids, ref_ids)
+
+
+def test_mixed_mutations_and_queries(setup):
+    _, data, queries = setup
+    gen = np.random.default_rng(41)
+    index = StreamingIndex(
+        max_degree=8, build_beam_width=24, seed=7, default_beam_width=24
+    ).build(data)
+
+    async def scenario():
+        engine = ServingEngine(index, k=5, beam_width=24, max_batch=8)
+        doomed = gen.choice(200, size=20, replace=False)
+        results = await asyncio.gather(
+            engine.delete(doomed),
+            engine.insert(gen.standard_normal((20, 8)).astype(np.float32)),
+            *[engine.search(q) for q in queries],
+        )
+        n_deleted, new_ids = results[0], results[1]
+        report = await engine.consolidate()
+        final = await asyncio.gather(*[engine.search(q) for q in queries])
+        await engine.close()
+        return doomed, n_deleted, new_ids, report, final
+
+    doomed, n_deleted, new_ids, report, final = asyncio.run(scenario())
+    assert n_deleted == 20
+    assert new_ids.size == 20
+    assert report.n_dead == 20
+    for ids, _ in final:
+        assert not np.intersect1d(ids, doomed).size
+        ref_ids, _ = _direct(index, queries[0])  # engine state == index state
+    assert np.array_equal(final[0][0], ref_ids)
+
+
+def test_report_accounting(setup):
+    index, _, queries = setup
+
+    async def scenario():
+        engine = ServingEngine(index, k=5, beam_width=24)
+        await asyncio.gather(*[engine.search(q) for q in queries[:4]])
+        await engine.close()
+        return engine.report
+
+    report = asyncio.run(scenario())
+    assert report.n_queries == 4
+    assert len(report.latencies_s) == 4
+    assert report.total_distance_calls > 0
+    measurement = report.measurement(recall=0.9, beam_width=24)
+    assert measurement.p99_time_s >= measurement.p50_time_s >= 0
+    assert measurement.qps > 0
+    assert measurement.recall == 0.9
+
+
+def test_engine_validation(setup):
+    index, _, _ = setup
+    with pytest.raises(ValueError):
+        ServingEngine(index, max_batch=0)
+    with pytest.raises(ValueError):
+        ServingEngine(index, max_delay_s=-1)
+    with pytest.raises(ValueError):
+        ServingEngine(index, cache_size=-1)
+
+    async def closed_search():
+        engine = ServingEngine(index)
+        await engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            await engine.search(np.zeros(8, dtype=np.float32))
+
+    asyncio.run(closed_search())
+
+
+def test_query_seed_index_is_content_addressed():
+    q = np.arange(6, dtype=np.float32)
+    assert query_seed_index(q) == query_seed_index(q.copy())
+    assert query_seed_index(q) != query_seed_index(q + 1)
+    # float64 input hashes identically to its float32 cast
+    assert query_seed_index(q.astype(np.float64)) == query_seed_index(q)
+
+
+def test_serving_report_empty():
+    report = ServingReport()
+    assert report.qps == 0.0
+    assert report.cache_hit_rate == 0.0
+    assert report.mean_batch_size == 0.0
+    assert report.percentile_s(99) == 0.0
