@@ -86,7 +86,22 @@ def _cmd_demo(args) -> int:
 
     data = generate(args.dataset, args.n, seed=args.seed)
     queries = generate(args.dataset, args.queries, seed=args.seed + 1)
-    truth, _ = ground_truth(data, queries, args.k)
+    filtered = args.filter_specificity is not None
+    if filtered:
+        if args.tier_mode == "disk":
+            print("error: --filter-specificity requires --tier-mode ram")
+            return 2
+        from .datasets.attributes import point_attributes, query_predicates
+        from .eval.metrics import filtered_ground_truth
+
+        attrs = point_attributes(args.dataset, args.n, seed=args.seed)
+        predicates = query_predicates(
+            args.dataset, args.queries, args.filter_specificity, seed=args.seed
+        )
+        allow = [p.mask(attrs) for p in predicates]
+        truth, _ = filtered_ground_truth(data, queries, args.k, allow)
+    else:
+        truth, _ = ground_truth(data, queries, args.k)
     index_params = {"seed": args.seed}
     if args.workers > 1:
         if _supports_build_workers(args.method):
@@ -123,6 +138,17 @@ def _cmd_demo(args) -> int:
             f"disk tier: {tier.resident_bytes() // 1024} KiB resident "
             f"(PQ codes + codebooks), {tier.file_bytes() // 1024} KiB "
             f"memory-mapped (graph + raw vectors)"
+        )
+    if filtered:
+        from .core.filtered import FilteredIndex
+
+        index = FilteredIndex(
+            index, attrs, predicates, strategy=args.filter_strategy
+        )
+        mean_spec = float(np.mean([m.mean() for m in allow]))
+        print(
+            f"filtered search ({args.filter_strategy}): specificity "
+            f"{args.filter_specificity} requested, {mean_spec:.3f} realized"
         )
     try:
         measurement = run_workload(
@@ -293,6 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="beam-search backend for queries (default: $REPRO_KERNEL, else "
         "auto). All backends return bit-identical answers and distance "
         "counts; 'scalar' is the per-query reference loop",
+    )
+    demo.add_argument(
+        "--filter-specificity",
+        type=float,
+        default=None,
+        metavar="S",
+        help="run a *filtered* workload: per-point attributes plus per-query "
+        "range predicates matching an expected fraction S of the points "
+        "(0 < S <= 1); recall is measured against filtered brute force",
+    )
+    demo.add_argument(
+        "--filter-strategy",
+        choices=["inline", "acorn", "rwalks"],
+        default="inline",
+        help="filtered-search strategy: 'inline' masks the finished beam, "
+        "'acorn' routes through filtered-out nodes (multi-hop expansion), "
+        "'rwalks' adds same-label shortcut edges offline then searches "
+        "inline over the augmented graph",
     )
     demo.add_argument(
         "--tier-mode",

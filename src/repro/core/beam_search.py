@@ -19,15 +19,24 @@ from .graph import Graph
 from .heap import NeighborQueue
 
 __all__ = [
+    "PAD_ID",
     "SearchResult",
     "prepare_seeds",
+    "pad_top_k",
     "masked_top_k",
+    "normalize_exclude_masks",
     "beam_search",
     "pq_beam_search",
     "rerank_topk",
     "batch_point_beam_search",
     "greedy_search",
 ]
+
+#: Sentinel id filling answer slots a mask emptied (paired with ``inf``
+#: distance).  Masked searches always return exactly ``k`` slots; callers
+#: recover the real answers with ``ids[ids >= 0]`` or
+#: :attr:`SearchResult.n_valid`.
+PAD_ID: int = -1
 
 
 def prepare_seeds(seeds, n: int) -> np.ndarray:
@@ -49,6 +58,26 @@ def prepare_seeds(seeds, n: int) -> np.ndarray:
     return seeds
 
 
+def pad_top_k(
+    ids: np.ndarray, dists: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Truncate-or-pad an answer list to exactly ``k`` slots.
+
+    Shortfall slots are filled with ``(PAD_ID, inf)`` so a caller zipping
+    against ``k``-wide ground truth never mis-aligns; the valid prefix
+    stays bit-identical to the unpadded answer.
+    """
+    ids = np.asarray(ids, dtype=np.int64)[:k]
+    dists = np.asarray(dists, dtype=np.float64)[:k]
+    if ids.size == k:
+        return ids, dists
+    out_ids = np.full(k, PAD_ID, dtype=np.int64)
+    out_dists = np.full(k, np.inf)
+    out_ids[: ids.size] = ids
+    out_dists[: dists.size] = dists
+    return out_ids, out_dists
+
+
 def masked_top_k(
     queue: NeighborQueue, k: int, exclude_mask: np.ndarray | None
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -57,14 +86,56 @@ def masked_top_k(
     With no mask this is exactly ``queue.top_k(k)``.  With a mask, the
     whole beam is filtered before truncation, so an answer slot vacated by
     a tombstoned node is backfilled by the next-best live entry rather
-    than silently shrinking the result.  Shared by the scalar path and the
+    than silently shrinking the result.  When filtering (or a short beam)
+    leaves fewer than ``k`` survivors, the shortfall is surfaced instead
+    of silently returning a narrower answer: the result is padded to
+    exactly ``k`` slots with ``(PAD_ID, inf)`` (see :func:`pad_top_k`), so
+    every caller that assumes ``len(ids) == k`` — recall computation,
+    ground-truth zipping, the filtered-search layer under selective
+    predicates — stays aligned.  Shared by the scalar path and the
     vectorized kernel so the two stay identical by construction.
     """
     if exclude_mask is None:
         return queue.top_k(k)
     ids, dists = queue.entries()
     keep = ~exclude_mask[ids]
-    return ids[keep][:k], dists[keep][:k]
+    return pad_top_k(ids[keep], dists[keep], k)
+
+
+def normalize_exclude_masks(
+    exclude_mask, n_queries: int, n_nodes: int
+) -> list | None:
+    """Normalize the ``exclude_mask`` argument of the batch search paths.
+
+    Accepts ``None`` (no filtering), one shared 1-D bool mask of length
+    ``n_nodes`` (the streaming tier's tombstones — every query filters the
+    same nodes), or a sequence of ``n_queries`` per-query masks, each a
+    1-D bool array of length ``n_nodes`` or ``None`` (the filtered-search
+    tier's per-query predicates).  Returns ``None`` or a list with one
+    entry per query; a shared mask is repeated by reference, not copied.
+    """
+    if exclude_mask is None:
+        return None
+    if isinstance(exclude_mask, np.ndarray) and exclude_mask.ndim == 1:
+        if exclude_mask.shape[0] != n_nodes:
+            raise ValueError(
+                f"exclude_mask has {exclude_mask.shape[0]} entries, "
+                f"expected {n_nodes} (one per graph node)"
+            )
+        return [exclude_mask] * n_queries
+    masks = list(exclude_mask)
+    if len(masks) != n_queries:
+        raise ValueError(
+            f"per-query exclude masks disagree with the batch: "
+            f"{len(masks)} masks vs {n_queries} queries"
+        )
+    for mask in masks:
+        if mask is not None and np.asarray(mask).shape != (n_nodes,):
+            raise ValueError(
+                f"per-query exclude mask has shape {np.asarray(mask).shape}, "
+                f"expected ({n_nodes},)"
+            )
+    return masks
 
 
 @dataclass
@@ -103,6 +174,16 @@ class SearchResult:
     visited_dists: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.float64)
     )
+
+    @property
+    def n_valid(self) -> int:
+        """Number of real answers in ``ids``.
+
+        Masked searches pad to exactly ``k`` slots with :data:`PAD_ID`
+        when filtering empties the beam; this counts the non-sentinel
+        prefix so callers can detect the shortfall explicitly.
+        """
+        return int(np.count_nonzero(self.ids != PAD_ID))
 
 
 def beam_search(
@@ -319,7 +400,9 @@ def batch_point_beam_search(
     Returns one :class:`SearchResult` per point (``visited`` lists are not
     collected; builders that need them use :func:`beam_search`).
 
-    ``exclude_mask`` carries the streaming tier's tombstones, with
+    ``exclude_mask`` carries the streaming tier's tombstones (one shared
+    mask) or the filtered tier's per-point predicates (a sequence of
+    masks, one per point — see :func:`normalize_exclude_masks`), with
     :func:`beam_search`'s semantics: flagged nodes route but are filtered
     from each point's answers, and traversal accounting is mask-invariant.
     """
@@ -327,8 +410,10 @@ def batch_point_beam_search(
         raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
     if visited_mask is None or visited_mask.size != graph.n:
         visited_mask = np.zeros(graph.n, dtype=bool)
+    points = list(points)
+    masks = normalize_exclude_masks(exclude_mask, len(points), graph.n)
     results: list[SearchResult] = []
-    for point, seeds in zip(points, seeds_per_point):
+    for pt_idx, (point, seeds) in enumerate(zip(points, seeds_per_point)):
         mark = computer.checkpoint()
         visited_mask[:] = False
         # the same range validation beam_search performs: a negative seed
@@ -355,7 +440,9 @@ def batch_point_beam_search(
                     for dist, nbr in zip(dists.tolist(), fresh.tolist()):
                         if dist < bound:
                             bound = queue.insert(dist, nbr)
-        ids, dists = masked_top_k(queue, k, exclude_mask)
+        ids, dists = masked_top_k(
+            queue, k, None if masks is None else masks[pt_idx]
+        )
         results.append(
             SearchResult(
                 ids=ids,

@@ -1,0 +1,493 @@
+"""Filtered vector search: predicate-constrained k-NN over the same graphs.
+
+The paper's twelve methods are evaluated on unfiltered workloads, but real
+serving traffic increasingly carries attribute predicates alongside the
+query vector.  RWalks (Echihabi et al.) and ACORN show that *filtered*
+search over the same proximity graphs is a scenario family of its own,
+whose recall/QPS trade-offs are governed by filter **specificity** — the
+fraction of points that satisfy the predicate.  This module layers that
+scenario over any built :class:`~repro.indexes.base.BaseGraphIndex`
+without touching the index itself, with three strategies behind one API:
+
+``inline``
+    The tombstone machinery generalized: traverse the unmodified graph
+    exactly as the unfiltered search would (hops and distance calls are
+    predicate-invariant), but filter the finished beam through the query's
+    allow-mask, padding to ``k`` with ``(PAD_ID, inf)`` on shortfall.
+    Cheap and exact at permissive specificities; at selective predicates
+    the beam drains and recall drops — that cliff is the phenomenon the
+    benchmark sweeps.
+``acorn``
+    ACORN-style multi-hop expansion: only passing nodes enter the beam or
+    are scored, while filtered-out nodes still *route* — each expansion
+    gathers neighbors through up to ``expansion`` consecutive failing
+    nodes, so selective predicates don't strand the traversal on an
+    island of failing neighbors.
+``rwalks``
+    RWalks-style offline edge augmentation: attribute-diffusing random
+    walks add same-label shortcut edges on top of the existing graph (the
+    index is untouched; augmentation is a pure function of graph bytes,
+    labels, and seed), then the inline strategy runs over the augmented
+    graph.
+
+Determinism: every strategy draws its per-query randomness through the
+wrapped index's ``seed_query_rng`` protocol and measures distance calls as
+counter deltas, so answers, distance counts, and hop counts are
+bit-identical across kernel backends and worker counts — the same
+guarantee the unfiltered batch engine makes, pinned by the filtered
+benchmark's assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .beam_search import SearchResult, beam_search, pad_top_k, prepare_seeds
+from .graph import CSRGraph, Graph
+from .heap import NeighborQueue
+
+__all__ = [
+    "FILTER_STRATEGIES",
+    "FilteredIndex",
+    "acorn_beam_search",
+    "rwalks_augment",
+]
+
+#: Strategy names accepted by :class:`FilteredIndex`.
+FILTER_STRATEGIES = ("inline", "acorn", "rwalks")
+
+
+# ----------------------------------------------------------------------
+# ACORN-style traversal (scalar; the only implementation, so every
+# backend/worker configuration runs exactly this code)
+# ----------------------------------------------------------------------
+def _expand_through_failing(graph, allow_mask, visited_mask, frontier, depth):
+    """Gather passing nodes reachable through ``depth`` failing layers.
+
+    ``frontier`` holds filtered-out nodes already marked visited; each
+    layer gathers their unvisited neighbors, harvests the passing ones,
+    and keeps routing through the failing ones.  Failing nodes are marked
+    visited but never scored, so distance accounting stays a pure function
+    of the passing set.  Frontiers are sorted-unique at every layer, so
+    the result is independent of gather order.
+    """
+    found = []
+    for _ in range(depth):
+        if not frontier.size:
+            break
+        nexts = [graph.neighbors(int(node)) for node in frontier]
+        nbrs = np.unique(np.concatenate(nexts)) if nexts else frontier[:0]
+        fresh = nbrs[~visited_mask[nbrs]]
+        if not fresh.size:
+            break
+        visited_mask[fresh] = True
+        passing = fresh[allow_mask[fresh]]
+        if passing.size:
+            found.append(passing)
+        frontier = fresh[~allow_mask[fresh]]
+    if not found:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(found)
+
+
+def acorn_beam_search(
+    graph,
+    computer,
+    query: np.ndarray,
+    seeds,
+    k: int,
+    beam_width: int,
+    allow_mask: np.ndarray,
+    expansion: int = 2,
+    visited_mask: np.ndarray | None = None,
+) -> SearchResult:
+    """Algorithm 1 with ACORN-style expansion through filtered-out nodes.
+
+    The beam holds only nodes satisfying ``allow_mask``; every expansion
+    gathers the popped node's neighbors and, instead of discarding failing
+    ones, routes through up to ``expansion`` consecutive failing layers to
+    reach passing nodes behind them (``expansion=1`` is the ACORN-1
+    two-hop analog).  Failing nodes are marked visited and never scored:
+    ``distance_calls`` counts passing nodes only, each exactly once.
+
+    Seeds failing the predicate are used as routing starts; if no passing
+    node is reachable within ``expansion`` hops of the seeds, the failing
+    frontier keeps widening until one is found or the component is
+    exhausted — a selective predicate cannot strand the search at the
+    seed.  Answers are padded to ``k`` with ``(PAD_ID, inf)`` when fewer
+    passing nodes exist.
+    """
+    if beam_width < k:
+        raise ValueError(f"beam_width ({beam_width}) must be >= k ({k})")
+    if expansion < 1:
+        raise ValueError("expansion must be >= 1")
+    mark = computer.checkpoint()
+    if visited_mask is None or visited_mask.size != graph.n:
+        visited_mask = np.zeros(graph.n, dtype=bool)
+    else:
+        visited_mask[:] = False
+
+    seeds = prepare_seeds(seeds, graph.n)
+    visited_mask[seeds] = True
+    passing = seeds[allow_mask[seeds]]
+    failing = seeds[~allow_mask[seeds]]
+    if failing.size:
+        more = _expand_through_failing(
+            graph, allow_mask, visited_mask, failing, expansion
+        )
+        passing = np.unique(np.concatenate([passing, more]))
+    # a fully-failing neighborhood keeps widening until something passes
+    while not passing.size and failing.size:
+        nexts = [graph.neighbors(int(node)) for node in failing]
+        nbrs = np.unique(np.concatenate(nexts)) if nexts else failing[:0]
+        fresh = nbrs[~visited_mask[nbrs]]
+        if not fresh.size:
+            break
+        visited_mask[fresh] = True
+        passing = fresh[allow_mask[fresh]]
+        failing = fresh[~allow_mask[fresh]]
+
+    queue = NeighborQueue(beam_width)
+    q64, q_sq = computer.prepare_query(query)
+    if passing.size:
+        dists = computer.to_query_prepared(passing, q64, q_sq)
+        for dist, node in zip(dists.tolist(), passing.tolist()):
+            queue.insert(dist, node)
+
+    hops = 0
+    while True:
+        node = queue.pop_nearest_unexpanded()
+        if node is None:
+            break
+        hops += 1
+        nbrs = graph.neighbors(node)
+        if not nbrs.size:
+            continue
+        fresh = nbrs[~visited_mask[nbrs]]
+        if not fresh.size:
+            continue
+        visited_mask[fresh] = True
+        cand = fresh[allow_mask[fresh]]
+        blocked = fresh[~allow_mask[fresh]]
+        if blocked.size:
+            more = _expand_through_failing(
+                graph, allow_mask, visited_mask, blocked, expansion
+            )
+            if more.size:
+                cand = np.unique(np.concatenate([cand, more]))
+        if not cand.size:
+            continue
+        dists = computer.to_query_prepared(cand, q64, q_sq)
+        bound = queue.worst_dist()
+        for dist, nbr in zip(dists.tolist(), cand.tolist()):
+            if dist < bound:
+                bound = queue.insert(dist, nbr)
+
+    raw_ids, raw_dists = queue.top_k(k)
+    ids, dists = pad_top_k(raw_ids, raw_dists, k)
+    return SearchResult(
+        ids=ids,
+        dists=dists,
+        distance_calls=computer.since(mark),
+        hops=hops,
+    )
+
+
+# ----------------------------------------------------------------------
+# RWalks-style offline edge augmentation
+# ----------------------------------------------------------------------
+def rwalks_augment(
+    graph,
+    labels: np.ndarray,
+    n_walks: int = 8,
+    walk_len: int = 4,
+    extra_degree: int = 4,
+    seed: int = 0,
+) -> Graph:
+    """Attribute-aware edge augmentation via random walks (RWalks-style).
+
+    For every node, ``n_walks`` uniform random walks of ``walk_len`` steps
+    diffuse over the base graph; visited nodes carrying the *same label*
+    as the walk's origin become shortcut candidates, ranked by visit count
+    (ties by ascending id), and the top ``extra_degree`` not already
+    adjacent are appended to the node's out-list.  Same-label regions that
+    the base graph connects only through other labels thus gain direct
+    edges, which is what keeps selective categorical filters from
+    stranding an inline traversal.
+
+    Pure function of ``(graph bytes, labels, seed)``: each node's walks
+    draw from ``default_rng((seed, node))``, so the augmented graph is
+    bit-identical across processes and platforms and independent of node
+    processing order.  The input graph is not modified.
+    """
+    if n_walks < 1 or walk_len < 1:
+        raise ValueError("n_walks and walk_len must be >= 1")
+    if extra_degree < 0:
+        raise ValueError("extra_degree must be >= 0")
+    labels = np.asarray(labels)
+    n = graph.n
+    if labels.shape != (n,):
+        raise ValueError(f"labels must have shape ({n},), got {labels.shape}")
+    out = graph.copy() if isinstance(graph, Graph) else _csr_to_graph(graph)
+    if extra_degree == 0:
+        return out
+    for node in range(n):
+        rng = np.random.default_rng((seed, node))
+        touched: list[int] = []
+        for _ in range(n_walks):
+            cur = node
+            for _ in range(walk_len):
+                nbrs = graph.neighbors(cur)
+                if not nbrs.size:
+                    break
+                cur = int(nbrs[rng.integers(nbrs.size)])
+                touched.append(cur)
+        if not touched:
+            continue
+        visits = np.asarray(touched, dtype=np.int64)
+        cand, counts = np.unique(visits, return_counts=True)
+        same = (labels[cand] == labels[node]) & (cand != node)
+        cand, counts = cand[same], counts[same]
+        if not cand.size:
+            continue
+        existing = out.neighbors(node)
+        fresh = ~np.isin(cand, existing)
+        cand, counts = cand[fresh], counts[fresh]
+        if not cand.size:
+            continue
+        # most-visited first, ties by ascending id — a total order
+        order = np.lexsort((cand, -counts))[:extra_degree]
+        out.set_neighbors(node, np.concatenate([existing, cand[order]]))
+    return out
+
+
+def _csr_to_graph(csr) -> Graph:
+    """Materialize a mutable adjacency-list copy of a CSR graph."""
+    out = Graph(csr.n)
+    for node in range(csr.n):
+        out.set_neighbors(node, csr.neighbors(node))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the index-agnostic wrapper
+# ----------------------------------------------------------------------
+class FilteredIndex:
+    """Predicate-filtered search over a built graph index.
+
+    Wraps a built :class:`~repro.indexes.base.BaseGraphIndex` together
+    with the workload's attributes and per-query predicates, and exposes
+    the batch-engine surface (``search`` / ``search_batch`` /
+    ``seed_query_rng`` / ``shared_query_state`` /
+    ``attach_shared_query_state``), so the existing parallel engine,
+    :func:`~repro.eval.runner.run_workload`, and the beam-width sweep all
+    run filtered workloads unchanged.
+
+    ``predicates[i]`` applies to workload query ``i`` — the same global
+    query index the engine passes to :meth:`seed_query_rng`, which is how
+    the scalar per-query path (whose ``search`` never sees an index)
+    selects the right filter at any worker count.
+    """
+
+    name = "filtered"
+
+    def __init__(
+        self,
+        inner,
+        attrs,
+        predicates,
+        strategy: str = "inline",
+        expansion: int = 2,
+        rwalks_walks: int = 8,
+        rwalks_len: int = 4,
+        rwalks_extra_degree: int = 4,
+    ):
+        if strategy not in FILTER_STRATEGIES:
+            raise ValueError(
+                f"unknown filter strategy {strategy!r}; "
+                f"choose from {FILTER_STRATEGIES}"
+            )
+        if inner.computer is None or inner.graph is None:
+            raise RuntimeError("wrap a *built* graph index")
+        if attrs.n != inner.computer.n:
+            raise ValueError(
+                f"attributes cover {attrs.n} points but the index holds "
+                f"{inner.computer.n}"
+            )
+        self.inner = inner
+        self.attrs = attrs
+        self.predicates = list(predicates)
+        self.strategy = strategy
+        self.expansion = expansion
+        self._current_query = 0
+        self._visited_scratch: np.ndarray | None = None
+        # one exclude row per workload query: True = fails the predicate
+        self._exclude = np.stack(
+            [~p.mask(attrs) for p in self.predicates]
+        ) if self.predicates else np.zeros((0, attrs.n), dtype=bool)
+        self._aug_csr: CSRGraph | None = None
+        if strategy == "rwalks":
+            augmented = rwalks_augment(
+                inner.graph,
+                attrs.labels,
+                n_walks=rwalks_walks,
+                walk_len=rwalks_len,
+                extra_degree=rwalks_extra_degree,
+                seed=inner.seed,
+            )
+            self._aug_csr = CSRGraph.from_graph(augmented)
+
+    # -- batch-engine protocol -----------------------------------------
+    @property
+    def seed(self) -> int:
+        return self.inner.seed
+
+    @property
+    def computer(self):
+        return self.inner.computer
+
+    def seed_query_rng(self, query_index: int) -> None:
+        """Forward to the wrapped index, remembering which query is next.
+
+        The remembered index selects the query's predicate in
+        :meth:`search`, keyed to the same global workload position the
+        engine keys randomness to — so predicate selection is exactly as
+        worker-count-invariant as seed selection.
+        """
+        self._current_query = int(query_index) % max(len(self.predicates), 1)
+        self.inner.seed_query_rng(query_index)
+
+    def shared_query_state(self) -> dict[str, np.ndarray]:
+        state = dict(self.inner.shared_query_state())
+        state["filter_exclude"] = self._exclude
+        if self._aug_csr is not None:
+            state["aug_indptr"] = self._aug_csr.indptr
+            state["aug_indices"] = self._aug_csr.indices
+        return state
+
+    def attach_shared_query_state(self, arrays: dict[str, np.ndarray]) -> None:
+        self.inner.attach_shared_query_state(arrays)
+        self._exclude = arrays["filter_exclude"]
+        if "aug_indptr" in arrays:
+            self._aug_csr = CSRGraph(
+                arrays["aug_indptr"], arrays["aug_indices"], validate=False
+            )
+        self._visited_scratch = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_exclude"] = None
+        state["_aug_csr"] = None
+        state["_visited_scratch"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # -- traversal -----------------------------------------------------
+    def _graph(self):
+        """The graph this strategy traverses (augmented for rwalks)."""
+        if self.strategy == "rwalks":
+            return self._aug_csr
+        return self.inner.graph
+
+    def _scratch(self, n: int) -> np.ndarray:
+        if self._visited_scratch is None or self._visited_scratch.size != n:
+            self._visited_scratch = np.zeros(n, dtype=bool)
+        return self._visited_scratch
+
+    def search(
+        self, query: np.ndarray, k: int = 10, beam_width: int | None = None
+    ) -> SearchResult:
+        """Answer the current query under its predicate.
+
+        Call :meth:`seed_query_rng` first (the batch engine always does);
+        it selects both the per-query randomness and the predicate.
+        """
+        exclude = self._exclude[self._current_query]
+        if self.strategy == "inline":
+            return self.inner.search(
+                query, k=k, beam_width=beam_width, exclude_mask=exclude
+            )
+        computer = self.inner.computer
+        width = max(beam_width or max(self.inner.default_beam_width, k), k)
+        graph = self._graph()
+        mark = computer.checkpoint()
+        seeds = self.inner._query_seeds(query)
+        if self.strategy == "acorn":
+            result = acorn_beam_search(
+                graph, computer, query, seeds, k, width,
+                allow_mask=~exclude, expansion=self.expansion,
+                visited_mask=self._scratch(graph.n),
+            )
+        else:  # rwalks: inline filtering over the augmented graph
+            result = beam_search(
+                graph, computer, query, seeds, k=k, beam_width=width,
+                visited_mask=self._scratch(graph.n), exclude_mask=exclude,
+            )
+        result.distance_calls = computer.since(mark)
+        return result
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int | None = None,
+        query_indices=None,
+        kernel: str | None = None,
+    ) -> list[SearchResult]:
+        """Batched filtered search, bit-identical to per-query :meth:`search`.
+
+        ``inline`` and ``rwalks`` route through the vectorized multi-query
+        kernel with per-query exclude masks (``scalar`` falls back to the
+        reference loop); ``acorn`` has a single scalar implementation, so
+        every backend runs identical code.
+        """
+        from .kernels import batch_search, resolve_backend
+
+        queries = np.atleast_2d(np.asarray(queries))
+        n_queries = queries.shape[0]
+        indices = (
+            np.arange(n_queries, dtype=np.int64)
+            if query_indices is None
+            else np.asarray(query_indices, dtype=np.int64)
+        )
+        backend = resolve_backend(kernel)
+        if self.strategy == "acorn" or backend == "scalar":
+            results = []
+            for j in range(n_queries):
+                self.seed_query_rng(int(indices[j]))
+                results.append(self.search(queries[j], k=k, beam_width=beam_width))
+            return results
+
+        computer = self.inner.computer
+        width = max(beam_width or max(self.inner.default_beam_width, k), k)
+        graph = (
+            self._aug_csr if self.strategy == "rwalks"
+            else self.inner._kernel_graph()
+        )
+        seeds_per_query = []
+        seed_calls = []
+        for j in range(n_queries):
+            self.seed_query_rng(int(indices[j]))
+            mark = computer.checkpoint()
+            seeds_per_query.append(self.inner._query_seeds(queries[j]))
+            seed_calls.append(computer.since(mark))
+        masks = [
+            self._exclude[int(i) % max(len(self.predicates), 1)]
+            for i in indices
+        ]
+        results = batch_search(
+            graph, computer, queries, seeds_per_query,
+            k=k, beam_width=width, backend=backend, exclude_mask=masks,
+        )
+        for result, calls in zip(results, seed_calls):
+            result.distance_calls += calls
+        return results
+
+    def memory_bytes(self) -> int:
+        """Wrapped index bytes plus the filter layer's own structures."""
+        extra = self._exclude.nbytes if self._exclude is not None else 0
+        if self._aug_csr is not None:
+            extra += self._aug_csr.memory_bytes()
+        return self.inner.memory_bytes() + extra

@@ -56,6 +56,8 @@ from .beam_search import (
     SearchResult,
     batch_point_beam_search,
     beam_search,
+    normalize_exclude_masks,
+    pad_top_k,
     pq_beam_search,
     prepare_seeds,
     rerank_topk,
@@ -377,14 +379,16 @@ def _search_chunk(
     k: int,
     beam_width: int,
     backend: str,
-    exclude_mask: np.ndarray | None = None,
+    exclude_masks: list | None = None,
 ) -> list[SearchResult]:
     """Run one lockstep chunk; lane ``j`` answers ``score_segments``'s query ``j``.
 
-    ``exclude_mask`` (the streaming tier's tombstones) only affects beam
-    finalization — each lane's finished beam is filtered before the ``k``
-    truncation, mirroring :func:`~repro.core.beam_search.masked_top_k` —
-    so traversal, hops, and distance accounting are mask-invariant.
+    ``exclude_masks`` — one mask (or ``None``) per lane, as produced by
+    :func:`~repro.core.beam_search.normalize_exclude_masks` — only affects
+    beam finalization: each masked lane's finished beam is filtered before
+    the ``k`` truncation and padded to exactly ``k`` slots, mirroring
+    :func:`~repro.core.beam_search.masked_top_k` bit-for-bit, so
+    traversal, hops, and distance accounting are mask-invariant.
     """
     n_lanes = len(seeds_per_lane)
     beam_d = np.full((n_lanes, beam_width), np.inf)
@@ -452,13 +456,15 @@ def _search_chunk(
     results = []
     for lane in range(n_lanes):
         size = int(sizes[lane])
-        if exclude_mask is None:
+        mask = None if exclude_masks is None else exclude_masks[lane]
+        if mask is None:
             ids = beam_i[lane, :min(k, size)].copy()
             dists = beam_d[lane, :min(k, size)].copy()
         else:
-            keep = ~exclude_mask[beam_i[lane, :size]]
-            ids = beam_i[lane, :size][keep][:k]
-            dists = beam_d[lane, :size][keep][:k]
+            keep = ~mask[beam_i[lane, :size]]
+            ids, dists = pad_top_k(
+                beam_i[lane, :size][keep], beam_d[lane, :size][keep], k
+            )
         results.append(
             SearchResult(
                 ids=ids,
@@ -482,7 +488,7 @@ def batch_search(
     beam_width: int,
     backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-    exclude_mask: np.ndarray | None = None,
+    exclude_mask=None,
 ) -> list[SearchResult]:
     """Answer a batch of external queries with the multi-query beam kernel.
 
@@ -491,8 +497,12 @@ def batch_search(
     seeds, at any ``chunk_size`` and backend.  ``backend="scalar"`` runs the
     reference path itself.  ``visited``/``visited_dists`` are not collected
     (builders that consume them use :func:`beam_search` directly).
-    ``exclude_mask`` flags tombstoned nodes: traversed, never returned
-    (see :func:`beam_search`); traversal accounting is mask-invariant.
+    ``exclude_mask`` flags nodes to filter from the answers — one shared
+    mask (the streaming tier's tombstones) or a per-query sequence (the
+    filtered tier's predicates; see
+    :func:`~repro.core.beam_search.normalize_exclude_masks`).  Flagged
+    nodes are traversed, never returned (see :func:`beam_search`);
+    traversal accounting is mask-invariant.
     """
     backend = resolve_backend(backend)
     if beam_width < k:
@@ -506,14 +516,16 @@ def batch_search(
             f"queries and seeds_per_query disagree: {queries.shape[0]} queries "
             f"vs {len(seeds_list)} seed lists"
         )
+    masks = normalize_exclude_masks(exclude_mask, len(seeds_list), graph.n)
     if backend == "scalar":
         scratch = np.zeros(graph.n, dtype=bool)
         return [
             beam_search(
                 graph, computer, query, seeds, k, beam_width,
-                visited_mask=scratch, exclude_mask=exclude_mask,
+                visited_mask=scratch,
+                exclude_mask=None if masks is None else masks[j],
             )
-            for query, seeds in zip(queries, seeds_list)
+            for j, (query, seeds) in enumerate(zip(queries, seeds_list))
         ]
 
     prepared = [computer.prepare_query(query) for query in queries]
@@ -532,7 +544,8 @@ def batch_search(
         results.extend(
             _search_chunk(
                 graph, computer, seeds_list[start:stop], score, k, beam_width,
-                backend, exclude_mask=exclude_mask,
+                backend,
+                exclude_masks=None if masks is None else masks[start:stop],
             )
         )
     return results
@@ -631,14 +644,15 @@ def batch_point_search(
     beam_width: int,
     backend: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-    exclude_mask: np.ndarray | None = None,
+    exclude_mask=None,
 ) -> list[SearchResult]:
     """Kernel variant of :func:`batch_point_beam_search` (queries are dataset
     points given by id; cached squared norms cover both sides).
 
     Bit-identical to :func:`batch_point_beam_search` per point at any chunk
-    size and backend.  ``exclude_mask`` flags tombstoned nodes: traversed,
-    never returned; traversal accounting is mask-invariant.
+    size and backend.  ``exclude_mask`` flags nodes to filter from the
+    answers (one shared mask or a per-point sequence): traversed, never
+    returned; traversal accounting is mask-invariant.
     """
     backend = resolve_backend(backend)
     if backend == "scalar":
@@ -657,6 +671,7 @@ def batch_point_search(
             f"points and seeds_per_point disagree: {points.shape[0]} points "
             f"vs {len(seeds_list)} seed lists"
         )
+    masks = normalize_exclude_masks(exclude_mask, len(seeds_list), graph.n)
     results: list[SearchResult] = []
     for start in range(0, len(seeds_list), chunk_size):
         stop = min(start + chunk_size, len(seeds_list))
@@ -670,7 +685,8 @@ def batch_point_search(
         results.extend(
             _search_chunk(
                 graph, computer, seeds_list[start:stop], score, k, beam_width,
-                backend, exclude_mask=exclude_mask,
+                backend,
+                exclude_masks=None if masks is None else masks[start:stop],
             )
         )
     return results

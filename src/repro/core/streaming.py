@@ -451,6 +451,11 @@ class StreamingIndex(BaseGraphIndex):
         from .incremental import _prune_with_stats
 
         for node, (cand_ids, cand_dists) in zip(new_ids.tolist(), searches):
+            # masked searches pad to k with (PAD_ID, inf) when tombstones
+            # empty the beam; a sentinel id must never reach the
+            # diversifier (fancy indexing would wrap -1 to the last node)
+            live = cand_ids >= 0
+            cand_ids, cand_dists = cand_ids[live], cand_dists[live]
             kept = self._diversifier(computer, cand_ids, cand_dists, self.max_degree)
             self.graph.set_neighbors(node, kept)
             for nbr in kept:

@@ -1,0 +1,173 @@
+"""Attribute generation for the filtered-search scenario.
+
+Real serving traffic increasingly carries attribute predicates alongside the
+query vector ("nearest shoes under $50"); RWalks and ACORN study this as a
+scenario family of its own, with recall/QPS trade-offs governed by the
+*specificity* of the filter — the fraction of dataset points that satisfy
+it.  This module supplies the workload side:
+
+* :func:`point_attributes` draws one categorical label (Zipf-ish popularity
+  ranks) and one uniform numeric value per dataset point;
+* :func:`query_predicates` draws per-query numeric range predicates of
+  controlled specificity — a predicate with specificity ``s`` matches an
+  expected fraction ``s`` of the points;
+* :func:`label_predicates` draws per-query categorical predicates, whose
+  specificity is implied by the label popularity distribution.
+
+Everything is keyed by the CRC-based :func:`~repro.datasets.synthetic.
+dataset_key_seed` protocol — never ``hash()`` — so the same
+``(dataset, n, seed)`` triple yields bit-identical attributes and predicates
+in every process, at any ``PYTHONHASHSEED``, on any worker of a parallel
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import dataset_key_seed
+
+__all__ = [
+    "AttributeSet",
+    "Predicate",
+    "point_attributes",
+    "query_predicates",
+    "label_predicates",
+]
+
+#: Seed salt separating attribute streams from the vector streams that share
+#: the same ``(dataset, seed)`` pair.
+_ATTR_SALT = 0xA77C
+_PRED_SALT = 0xF11E
+
+
+@dataclass(frozen=True)
+class AttributeSet:
+    """Per-point attributes: one categorical label, one numeric value.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int64 categorical labels in ``[0, n_labels)``, drawn with
+        Zipf-ish popularity (label ``r`` has probability proportional to
+        ``1 / (r + 1)``), so categorical filters span a wide specificity
+        range naturally.
+    values:
+        ``(n,)`` float64 numeric attribute, uniform on ``[0, 1)`` — range
+        predicates over it have exactly controllable expected specificity.
+    """
+
+    labels: np.ndarray
+    values: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def n_labels(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One query's filter: a numeric range and/or a categorical label.
+
+    ``lo <= value < hi`` must hold, and when ``label >= 0`` the point's
+    label must equal it.  ``Predicate(0.0, 1.0 + eps)`` with ``label=-1``
+    matches everything.
+    """
+
+    lo: float
+    hi: float
+    label: int = -1
+
+    def mask(self, attrs: AttributeSet) -> np.ndarray:
+        """Boolean allow-mask over the attribute set (True = passes)."""
+        allowed = (attrs.values >= self.lo) & (attrs.values < self.hi)
+        if self.label >= 0:
+            allowed &= attrs.labels == self.label
+        return allowed
+
+
+def point_attributes(
+    dataset: str, n: int, seed: int = 0, n_labels: int = 8
+) -> AttributeSet:
+    """Deterministic per-point attributes for ``n`` points of a dataset.
+
+    The RNG is keyed by ``(seed ^ dataset_key_seed(dataset), _ATTR_SALT)``:
+    independent of the vector stream (same ``seed`` does not correlate
+    attributes with coordinates) and stable across processes.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n_labels < 1:
+        raise ValueError("n_labels must be >= 1")
+    rng = np.random.default_rng(
+        (seed ^ dataset_key_seed(dataset.lower()), _ATTR_SALT)
+    )
+    weights = 1.0 / (1.0 + np.arange(n_labels, dtype=np.float64))
+    weights /= weights.sum()
+    labels = rng.choice(n_labels, size=n, p=weights).astype(np.int64)
+    values = rng.uniform(size=n)
+    return AttributeSet(labels=labels, values=values)
+
+
+def query_predicates(
+    dataset: str,
+    n_queries: int,
+    specificity: float,
+    seed: int = 0,
+) -> list[Predicate]:
+    """Per-query numeric range predicates with controlled specificity.
+
+    Each predicate is ``[lo, lo + specificity)`` with ``lo`` uniform on
+    ``[0, 1 - specificity]``; the numeric attribute is uniform on ``[0, 1)``,
+    so every predicate matches an expected fraction ``specificity`` of the
+    points.  The RNG key folds the specificity (at nanosecond-scale
+    resolution) so sweeps at different specificities draw independent
+    predicate streams while staying reproducible.
+    """
+    if not 0.0 < specificity <= 1.0:
+        raise ValueError("specificity must be in (0, 1]")
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = np.random.default_rng(
+        (
+            seed ^ dataset_key_seed(dataset.lower()),
+            _PRED_SALT,
+            int(round(specificity * 1_000_000_000)),
+        )
+    )
+    lows = rng.uniform(0.0, 1.0 - specificity, size=n_queries)
+    if specificity >= 1.0:
+        # degenerate match-everything sweep point: hi must cover value 1-eps
+        return [Predicate(0.0, np.nextafter(1.0, 2.0)) for _ in range(n_queries)]
+    return [Predicate(float(lo), float(lo + specificity)) for lo in lows]
+
+
+def label_predicates(
+    dataset: str,
+    n_queries: int,
+    attrs: AttributeSet,
+    seed: int = 0,
+) -> list[Predicate]:
+    """Per-query categorical predicates drawn from the label popularity.
+
+    Each query filters to one label, sampled proportionally to how many
+    points carry it — so the specificity distribution mirrors the Zipf-ish
+    label weights instead of being uniform over labels that may be nearly
+    empty.  The numeric range is left wide open.
+    """
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = np.random.default_rng(
+        (seed ^ dataset_key_seed(dataset.lower()), _PRED_SALT, 0xCA7)
+    )
+    counts = np.bincount(attrs.labels, minlength=attrs.n_labels).astype(np.float64)
+    probs = counts / counts.sum()
+    picks = rng.choice(probs.size, size=n_queries, p=probs)
+    hi = float(np.nextafter(1.0, 2.0))
+    return [Predicate(0.0, hi, label=int(label)) for label in picks]

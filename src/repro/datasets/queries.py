@@ -66,7 +66,13 @@ def noise_queries(
         raise ValueError("sigma_squared must be positive")
     n = data.shape[0]
     picks = rng.choice(n, size=n_queries, replace=n_queries > n)
-    scale = float(data.std()) or 1.0
+    # per-dimension std, as documented: a dataset whose dimensions have very
+    # different spreads (anisotropic) must be perturbed anisotropically, or
+    # "10%" noise swamps the narrow dimensions and barely moves the wide
+    # ones.  Dimensions with zero spread (constant columns) get unit scale
+    # explicitly rather than through a silent global fallback.
+    scale = data.std(axis=0, dtype=np.float64)
+    scale[scale == 0.0] = 1.0
     noise = rng.normal(0.0, np.sqrt(sigma_squared), size=(n_queries, data.shape[1]))
     return (data[picks] + scale * noise).astype(np.float32)
 

@@ -11,7 +11,7 @@ import numpy as np
 
 from ..core.distances import DistanceComputer
 
-__all__ = ["recall", "ground_truth", "mean_recall"]
+__all__ = ["recall", "ground_truth", "filtered_ground_truth", "mean_recall"]
 
 
 def recall(returned_ids: np.ndarray, true_ids: np.ndarray) -> float:
@@ -23,11 +23,23 @@ def recall(returned_ids: np.ndarray, true_ids: np.ndarray) -> float:
     counts once in the denominator and at most once as a hit, so recall
     stays in ``[0, 1]`` and a single returned id can never be credited
     twice.
+
+    Negative ids on either side are sentinel padding (masked searches and
+    filtered ground truth pad to exactly ``k`` slots with ``PAD_ID = -1``
+    when fewer than ``k`` answers exist) and are stripped before
+    comparison: a padded slot is neither a hit nor a miss.  A query whose
+    *ground truth* is entirely padding (no point satisfies the filter) has
+    recall 1.0 by convention — there was nothing to find.
     """
-    true = np.unique(np.asarray(true_ids).ravel())
-    if true.size == 0:
+    true_raw = np.asarray(true_ids).ravel()
+    if true_raw.size == 0:
         raise ValueError("true_ids must be non-empty")
-    returned = set(np.asarray(returned_ids).ravel().tolist())
+    true = np.unique(true_raw)
+    true = true[true >= 0]
+    if true.size == 0:
+        return 1.0  # ground truth is all padding: nothing satisfies the filter
+    returned = np.asarray(returned_ids).ravel()
+    returned = set(returned[returned >= 0].tolist())
     hits = sum(1 for t in true.tolist() if t in returned)
     return hits / true.size
 
@@ -64,3 +76,47 @@ def ground_truth(
         )
     queries = np.atleast_2d(np.asarray(queries))
     return computer.exact_knn_batch(queries, k)
+
+
+def filtered_ground_truth(
+    data: np.ndarray, queries: np.ndarray, k: int, allow_masks
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-NN restricted to each query's allowed points, by brute force.
+
+    ``allow_masks`` is one boolean mask per query (True = the point
+    satisfies the query's predicate); each row of the result ranks only the
+    allowed points.  A query with fewer than ``k`` allowed points gets its
+    row padded with ``(-1, inf)`` — the same sentinel convention as the
+    masked search paths — so the answer matrix is always ``(n_queries, k)``
+    and :func:`recall` aligns rows without special cases.
+
+    Ties at equal distance are broken by ascending id (a total order), so
+    the ground truth is independent of mask layout and iteration order —
+    the determinism the cross-process regression tests pin.
+    """
+    computer = DistanceComputer(data)
+    queries = np.atleast_2d(np.asarray(queries))
+    masks = list(allow_masks)
+    if len(masks) != queries.shape[0]:
+        raise ValueError(
+            f"allow_masks disagree with the workload: {len(masks)} masks "
+            f"vs {queries.shape[0]} queries"
+        )
+    ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+    dists = np.full((queries.shape[0], k), np.inf)
+    for j in range(queries.shape[0]):
+        mask = np.asarray(masks[j], dtype=bool)
+        if mask.shape != (computer.n,):
+            raise ValueError(
+                f"allow mask {j} has shape {mask.shape}, "
+                f"expected ({computer.n},)"
+            )
+        allowed = np.flatnonzero(mask)
+        if allowed.size == 0:
+            continue
+        q64, q_sq = computer.prepare_query(queries[j])
+        d = computer.to_query_prepared(allowed, q64, q_sq)
+        order = np.lexsort((allowed, d))[: min(k, allowed.size)]
+        ids[j, : order.size] = allowed[order]
+        dists[j, : order.size] = d[order]
+    return ids, dists

@@ -225,14 +225,28 @@ class ServingEngine:
             deadline = time.perf_counter() + self.max_delay_s
             while len(batch) < self.max_batch:
                 remaining = deadline - time.perf_counter()
-                if remaining <= 0 and self._queue.empty():
-                    break
+                if remaining <= 0:
+                    # Past the deadline, drain whatever is already queued
+                    # synchronously.  ``wait_for(get(), timeout=0)`` would
+                    # time out on a fresh (not-yet-done) get() task even
+                    # with waiters sitting in the queue, dispatching an
+                    # under-full batch — with max_delay_s=0 every batch
+                    # degraded to size 1.
+                    try:
+                        extra = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is None:
+                        self._dispatch(batch)
+                        return
+                    batch.append(extra)
+                    continue
                 try:
                     extra = await asyncio.wait_for(
-                        self._queue.get(), timeout=max(remaining, 0.0)
+                        self._queue.get(), timeout=remaining
                     )
                 except asyncio.TimeoutError:
-                    break
+                    continue
                 if extra is None:
                     self._dispatch(batch)
                     return

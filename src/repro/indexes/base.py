@@ -185,9 +185,20 @@ class BaseGraphIndex(BaseIndex):
         """Seed node ids for one query (method-specific SS strategy)."""
 
     def search(
-        self, query: np.ndarray, k: int = 10, beam_width: int | None = None
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        beam_width: int | None = None,
+        exclude_mask: np.ndarray | None = None,
     ) -> SearchResult:
-        """Algorithm 1 on the method's graph, seeded by its SS strategy."""
+        """Algorithm 1 on the method's graph, seeded by its SS strategy.
+
+        ``exclude_mask`` flags nodes filtered from the answers (traversed,
+        never returned — see :func:`~repro.core.beam_search.beam_search`);
+        the filtered-search tier passes per-query predicate masks here.
+        Masked answers are padded to exactly ``k`` slots with
+        ``(PAD_ID, inf)`` on shortfall.
+        """
         if self._disk_tier is not None:
             return self._search_disk(query, k, beam_width)
         computer = self._require_built()
@@ -207,6 +218,7 @@ class BaseGraphIndex(BaseIndex):
             k=k,
             beam_width=width,
             visited_mask=self._visited_scratch,
+            exclude_mask=exclude_mask,
         )
         # charge seed-selection distance work to the query
         result.distance_calls = computer.since(mark)
@@ -244,6 +256,7 @@ class BaseGraphIndex(BaseIndex):
         beam_width: int | None = None,
         query_indices=None,
         kernel: str | None = None,
+        exclude_mask=None,
     ) -> list[SearchResult]:
         """Batched Algorithm 1 via the vectorized multi-query beam kernel.
 
@@ -255,11 +268,22 @@ class BaseGraphIndex(BaseIndex):
         Methods that override :meth:`search` (and thus answer outside the
         standard beam path), and the ``scalar`` kernel backend, fall back to
         the per-query reference loop.
+
+        ``exclude_mask`` accepts one shared mask or a per-query sequence
+        (see :func:`~repro.core.beam_search.normalize_exclude_masks`); the
+        scalar fallback threads each query's own mask through
+        :meth:`search`, keeping both paths bit-identical.  Not supported in
+        disk-tier mode.
         """
+        from ..core.beam_search import normalize_exclude_masks
         from ..core.kernels import batch_search, batch_search_pq, resolve_backend
 
         backend = resolve_backend(kernel)
         if self._disk_tier is not None:
+            if exclude_mask is not None:
+                raise NotImplementedError(
+                    "exclude_mask is not supported on the disk tier"
+                )
             if backend == "scalar":
                 # per-query reference loop; search() routes to the disk path
                 return BaseIndex.search_batch(
@@ -279,9 +303,32 @@ class BaseGraphIndex(BaseIndex):
                 k=k, beam_width=width, backend=backend,
             )
         if backend == "scalar" or type(self).search is not BaseGraphIndex.search:
-            return super().search_batch(
-                queries, k=k, beam_width=beam_width, query_indices=query_indices
+            if exclude_mask is None:
+                return super().search_batch(
+                    queries, k=k, beam_width=beam_width,
+                    query_indices=query_indices,
+                )
+            if type(self).search is not BaseGraphIndex.search:
+                raise NotImplementedError(
+                    f"{self.name} overrides search() and cannot accept "
+                    f"per-query exclude masks"
+                )
+            # scalar reference loop, threading each query's own mask
+            queries_2d = np.atleast_2d(np.asarray(queries))
+            masks = normalize_exclude_masks(
+                exclude_mask, queries_2d.shape[0], self.graph.n
             )
+            results = []
+            for j in range(queries_2d.shape[0]):
+                if query_indices is not None:
+                    self.seed_query_rng(int(query_indices[j]))
+                results.append(
+                    self.search(
+                        queries_2d[j], k=k, beam_width=beam_width,
+                        exclude_mask=None if masks is None else masks[j],
+                    )
+                )
+            return results
         computer = self._require_built()
         if self.graph is None:
             raise RuntimeError(f"{self.name}: graph missing; build() first")
@@ -300,6 +347,7 @@ class BaseGraphIndex(BaseIndex):
         results = batch_search(
             graph, computer, queries, seeds_per_query,
             k=k, beam_width=width, backend=backend,
+            exclude_mask=exclude_mask,
         )
         # charge each query's seed-selection distance work to that query,
         # matching the scalar search()'s checkpoint placement

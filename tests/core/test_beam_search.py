@@ -204,7 +204,11 @@ def test_exclude_mask_none_is_identity(line_world):
     assert np.array_equal(plain.dists, masked.dists)
 
 
-def test_exclude_mask_can_shrink_result(line_world):
+def test_exclude_mask_shortfall_pads_to_k(line_world):
+    """When a mask empties the beam below ``k``, the shortfall is surfaced
+    by sentinel padding, never by silently shrinking the answer."""
+    from repro.core.beam_search import PAD_ID
+
     computer, graph = line_world
     # nearly everything excluded -> fewer than k live answers remain
     exclude = np.ones(20, dtype=bool)
@@ -213,5 +217,54 @@ def test_exclude_mask_can_shrink_result(line_world):
         graph, computer, np.array([19.0]), [0], k=5, beam_width=20,
         exclude_mask=exclude,
     )
-    assert result.ids.size == 2
-    assert not exclude[result.ids].any()
+    assert result.ids.size == 5  # always exactly k slots
+    assert result.dists.size == 5
+    assert result.n_valid == 2
+    valid = result.ids[result.ids != PAD_ID]
+    assert valid.size == 2
+    assert not exclude[valid].any()
+    assert np.all(result.ids[2:] == PAD_ID)
+    assert np.all(np.isinf(result.dists[2:]))
+    # valid prefix is sorted and finite
+    assert np.all(np.isfinite(result.dists[:2]))
+    assert np.all(np.diff(result.dists[:2]) >= 0)
+
+
+def test_exclude_mask_everything_excluded_all_pad(line_world):
+    from repro.core.beam_search import PAD_ID
+
+    computer, graph = line_world
+    exclude = np.ones(20, dtype=bool)
+    result = beam_search(
+        graph, computer, np.array([5.0]), [0], k=3, beam_width=10,
+        exclude_mask=exclude,
+    )
+    assert result.ids.size == 3
+    assert result.n_valid == 0
+    assert np.all(result.ids == PAD_ID)
+    assert np.all(np.isinf(result.dists))
+
+
+def test_batch_point_search_accepts_per_point_masks(line_world):
+    """batch_point_beam_search takes one shared mask or a per-point list,
+    matching the scalar beam_search answer for each point's own mask."""
+    from repro.core.beam_search import batch_point_beam_search
+
+    computer, graph = line_world
+    mask_a = np.zeros(20, dtype=bool)
+    mask_a[[4, 5]] = True
+    mask_b = np.zeros(20, dtype=bool)
+    mask_b[[10, 11, 12]] = True
+    batch = batch_point_beam_search(
+        graph, computer, [5, 11], [[0], [0]], k=3, beam_width=20,
+        exclude_mask=[mask_a, mask_b],
+    )
+    for point, mask, res in zip([5, 11], [mask_a, mask_b], batch):
+        ref = beam_search(
+            graph, computer, computer.data[point], [0], k=3, beam_width=20,
+            exclude_mask=mask,
+        )
+        assert np.array_equal(res.ids, ref.ids)
+        assert np.allclose(res.dists, ref.dists)
+        valid = res.ids[res.ids >= 0]
+        assert not mask[valid].any()

@@ -1,0 +1,132 @@
+"""Unit tests for attribute generation and predicate specificity."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.attributes import (
+    AttributeSet,
+    Predicate,
+    label_predicates,
+    point_attributes,
+    query_predicates,
+)
+
+
+def test_point_attributes_shapes_and_ranges():
+    attrs = point_attributes("sift", 500, seed=0, n_labels=6)
+    assert attrs.labels.shape == (500,)
+    assert attrs.values.shape == (500,)
+    assert attrs.labels.dtype == np.int64
+    assert attrs.labels.min() >= 0 and attrs.labels.max() < 6
+    assert attrs.values.min() >= 0.0 and attrs.values.max() < 1.0
+    assert attrs.n == 500
+
+
+def test_point_attributes_deterministic_and_seeded():
+    a = point_attributes("sift", 300, seed=4)
+    b = point_attributes("sift", 300, seed=4)
+    c = point_attributes("sift", 300, seed=5)
+    d = point_attributes("deep", 300, seed=4)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.array_equal(a.values, b.values)
+    assert not np.array_equal(a.labels, c.labels) or not np.array_equal(
+        a.values, c.values
+    )
+    assert not np.array_equal(a.values, d.values)
+
+
+def test_point_attributes_labels_zipf_ordered():
+    """Label popularity must follow the 1/rank weights, so categorical
+    filters naturally span a wide specificity range."""
+    attrs = point_attributes("sift", 20_000, seed=0, n_labels=5)
+    counts = np.bincount(attrs.labels, minlength=5)
+    assert counts[0] > counts[2] > counts[4]
+
+
+def test_point_attributes_validation():
+    with pytest.raises(ValueError):
+        point_attributes("sift", 0)
+    with pytest.raises(ValueError):
+        point_attributes("sift", 10, n_labels=0)
+
+
+def test_query_predicates_specificity_controls_match_fraction():
+    attrs = point_attributes("sift", 10_000, seed=1)
+    for spec in (0.1, 0.5, 0.9):
+        preds = query_predicates("sift", 50, spec, seed=1)
+        fractions = [p.mask(attrs).mean() for p in preds]
+        assert abs(np.mean(fractions) - spec) < 0.03, (spec, np.mean(fractions))
+
+
+def test_query_predicates_full_specificity_matches_everything():
+    attrs = point_attributes("sift", 1000, seed=1)
+    for p in query_predicates("sift", 5, 1.0, seed=1):
+        assert p.mask(attrs).all()
+
+
+def test_query_predicates_validation():
+    with pytest.raises(ValueError):
+        query_predicates("sift", 5, 0.0)
+    with pytest.raises(ValueError):
+        query_predicates("sift", 5, 1.5)
+    with pytest.raises(ValueError):
+        query_predicates("sift", 0, 0.5)
+
+
+def test_query_predicates_deterministic_per_specificity():
+    a = query_predicates("sift", 20, 0.3, seed=2)
+    b = query_predicates("sift", 20, 0.3, seed=2)
+    c = query_predicates("sift", 20, 0.31, seed=2)
+    assert a == b
+    assert a != c  # different specificity draws an independent stream
+
+
+def test_label_predicates_filter_to_one_label():
+    attrs = point_attributes("deep", 2000, seed=3)
+    preds = label_predicates("deep", 25, attrs, seed=3)
+    assert len(preds) == 25
+    for p in preds:
+        mask = p.mask(attrs)
+        assert mask.any()
+        assert np.unique(attrs.labels[mask]).tolist() == [p.label]
+
+
+def test_predicate_mask_combines_range_and_label():
+    attrs = AttributeSet(
+        labels=np.array([0, 1, 0, 1], dtype=np.int64),
+        values=np.array([0.1, 0.2, 0.8, 0.9]),
+    )
+    assert Predicate(0.0, 0.5).mask(attrs).tolist() == [True, True, False, False]
+    assert Predicate(0.0, 0.5, label=1).mask(attrs).tolist() == [
+        False, True, False, False,
+    ]
+
+
+def test_attributes_stable_across_processes():
+    """PR 5 discipline: attribute and predicate streams must not depend on
+    the process's string-hash salt (PYTHONHASHSEED)."""
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+    script = (
+        "from repro.datasets.attributes import point_attributes, query_predicates;"
+        "a = point_attributes('sift', 64, seed=5);"
+        "p = query_predicates('sift', 8, 0.4, seed=5);"
+        "print(int(a.labels.sum()), float(a.values.sum()),"
+        " sum(q.lo for q in p))"
+    )
+    outputs = set()
+    for hash_seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, f"attributes vary with PYTHONHASHSEED: {outputs}"

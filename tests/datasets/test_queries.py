@@ -55,6 +55,46 @@ def test_noise_grows_with_sigma(data):
     assert values == sorted(values)
 
 
+def test_noise_queries_scale_is_per_dimension():
+    """Regression: the noise scale was the *global* scalar ``data.std()``,
+    so anisotropic data got isotropic noise — swamping narrow dimensions
+    and barely moving wide ones.  The docstring promises per-dimension
+    scaling; verify the perturbation spread tracks each dimension's std."""
+    gen = np.random.default_rng(7)
+    n = 4000
+    # dimension 0 is ~100x wider than dimension 1
+    data = np.stack(
+        [100.0 * gen.normal(size=n), 1.0 * gen.normal(size=n)], axis=1
+    ).astype(np.float32)
+    queries = noise_queries(data, n, 0.04, np.random.default_rng(8))
+    # replay the internal pick stream to isolate the added perturbation
+    picks = np.random.default_rng(8).choice(n, size=n, replace=True)
+    noise = queries - data[picks]
+    per_dim = noise.std(axis=0)
+    # with per-dimension scaling, the noise std ratio matches the data's
+    ratio = per_dim[0] / per_dim[1]
+    assert 50 < ratio < 200, f"noise not scaled per dimension: ratio={ratio}"
+
+
+def test_noise_queries_constant_dimension_gets_unit_scale():
+    """A zero-std (constant) dimension must still receive noise at unit
+    scale — the old ``float(std) or 1.0`` guard only fired when the
+    *global* std was zero, silently mis-scaling mixed datasets."""
+    gen = np.random.default_rng(9)
+    data = np.stack(
+        [np.full(500, 3.0), gen.normal(size=500)], axis=1
+    ).astype(np.float32)
+    queries = noise_queries(data, 500, 0.09, np.random.default_rng(10))
+    # constant dimension: perturbation is pure unit-scale noise, sigma=0.3
+    spread = (queries[:, 0] - 3.0).std()
+    assert 0.25 < spread < 0.35
+
+    constant = np.full((100, 3), 2.0, dtype=np.float32)
+    q = noise_queries(constant, 50, 0.04, np.random.default_rng(11))
+    assert np.all(q != 2.0)  # noise applied, not silently zeroed
+    assert np.isfinite(q).all()
+
+
 def test_distribution_queries_match_dim():
     queries = distribution_queries("deep", 5)
     assert queries.shape == (5, 96)

@@ -151,6 +151,43 @@ def test_mixed_mutations_and_queries(setup):
     assert np.array_equal(final[0][0], ref_ids)
 
 
+def test_past_deadline_batches_fill_from_queue(setup):
+    """Regression: with the deadline already passed and waiters queued,
+    ``wait_for(get(), timeout=0)`` spuriously timed out and dispatched
+    under-full batches — with ``max_delay_s=0`` every batch degraded to
+    size 1.  The past-deadline branch must drain ready items with
+    ``get_nowait()`` until the batch is full or the queue is empty."""
+    index, _, _ = setup
+    gen = np.random.default_rng(51)
+    queries = gen.standard_normal((20, 8)).astype(np.float32)
+
+    async def scenario():
+        engine = ServingEngine(
+            index, k=5, beam_width=24, max_batch=8, max_delay_s=0.0,
+            cache_size=0,
+        )
+        sizes = []
+        inner_execute = engine._execute_batch
+
+        def recording_execute(batch):
+            sizes.append(len(batch))
+            inner_execute(batch)
+
+        engine._execute_batch = recording_execute
+        # gather schedules every search task before the batcher task runs,
+        # so all 20 waiters are queued when the first batch is cut
+        answers = await asyncio.gather(*[engine.search(q) for q in queries])
+        await engine.close()
+        return sizes, answers
+
+    sizes, answers = asyncio.run(scenario())
+    assert sizes == [8, 8, 4], f"under-full batches dispatched: {sizes}"
+    for query, (ids, dists) in zip(queries, answers):
+        ref_ids, ref_dists = _direct(index, query)
+        assert np.array_equal(ids, ref_ids)
+        assert np.array_equal(dists, ref_dists)
+
+
 def test_report_accounting(setup):
     index, _, queries = setup
 
