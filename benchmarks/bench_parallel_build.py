@@ -1,28 +1,39 @@
-"""Worker-count and round-size scaling of the batched II builder.
+"""Worker-count, kernel-backend, and round-size scaling of the II builder.
 
 Not a paper figure: this benchmark characterizes the construction-side twin
 of the batch-query engine.  A 20k-point synthetic dataset is built with the
 ParlayANN-style prefix-doubling builder at worker counts 1, 2, and 4, and
 the builder's guarantee is asserted unconditionally: the graph's edges and
 the aggregate distance-calculation count are bit-identical at every worker
-count.  The throughput expectation (>1.5x build throughput at 4 workers) is
-asserted only when the machine actually has 4+ cores to scale onto; on
-smaller runners the table is still recorded.
+count AND at every construction-kernel backend (``python``, ``numba``,
+``scalar``).  The throughput expectation (>1.5x build throughput at 4
+workers) is asserted only when the machine actually has 4+ cores to scale
+onto; on smaller runners the table is still recorded.
 
-A second table sweeps ``max_round_size``: smaller rounds search a fresher
+A second table breaks the single-worker build into its phases — candidate
+search, diversification/overflow prune, merge bookkeeping — for each kernel
+backend, at the fixed ISSUE reference point n=1000/R=12/L=32.  The batched
+kernels (vectorized beam searches + lockstep diversification) must deliver
+at least 2x single-worker build throughput over the scalar reference path
+at that point; this is asserted.
+
+A third table sweeps ``max_round_size``: smaller rounds search a fresher
 prefix graph (more synchronization, better candidates), larger rounds
 parallelize more coarsely — the knob trades build quality against speed.
 
-Environment knobs: ``REPRO_SCALE`` multiplies the 20k point count.
+Environment knobs: ``REPRO_SCALE`` multiplies the 20k point count (the
+kernel-phase table always runs at n=1000).
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 
 import numpy as np
 
+from repro.core.batch_build import build_ii_graph_batched
 from repro.core.distances import DistanceComputer
 from repro.core.incremental import build_ii_graph
 from repro.core.kernels import resolve_backend
@@ -35,6 +46,9 @@ MAX_DEGREE = 12
 WIDTH = 32
 WORKER_COUNTS = (1, 2, 4)
 ROUND_CAPS = (256, 1024, None)
+KERNELS = ("scalar", "python", "numba")
+# the ISSUE reference point for the kernel speedup claim
+PHASE_N = 1000
 
 
 def _build(data, workers, max_round_size=None, kernel=None):
@@ -53,6 +67,32 @@ def _build(data, workers, max_round_size=None, kernel=None):
     )
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+def _phase_build(data, kernel, repeats=3):
+    """Best-of-N single-worker build with per-phase timings."""
+    best = None
+    for _ in range(repeats):
+        computer = DistanceComputer(data)
+        phases: dict[str, float] = {}
+        start = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = build_ii_graph_batched(
+                computer,
+                max_degree=MAX_DEGREE,
+                beam_width=WIDTH,
+                diversify="rnd",
+                rng=np.random.default_rng(11),
+                track_pruning=False,
+                n_workers=1,
+                kernel=kernel,
+                phase_times=phases,
+            )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[1]:
+            best = (result, elapsed, phases)
+    return best
 
 
 def _edge_fingerprint(graph):
@@ -95,6 +135,41 @@ def test_parallel_build_scaling():
         f"L={WIDTH} ({os.cpu_count()} cores)",
     )
 
+    # --- kernel-backend phase breakdown at the fixed reference point -----
+    phase_data = generate("deep", PHASE_N, seed=7)
+    phase_runs = {kern: _phase_build(phase_data, kern) for kern in KERNELS}
+    scalar_elapsed = phase_runs["scalar"][1]
+    phase_rows = []
+    for kern, (result, elapsed, phases) in phase_runs.items():
+        phase_rows.append(
+            [
+                kern,
+                round(elapsed, 3),
+                round(phases.get("search", 0.0), 3),
+                round(phases.get("prune", 0.0), 3),
+                round(phases.get("merge", 0.0), 3),
+                round(scalar_elapsed / elapsed, 2),
+                result.distance_calls,
+            ]
+        )
+    report.add_table(
+        ["kernel", "build s", "search s", "prune s", "merge s",
+         "speedup vs scalar", "dist calls"],
+        phase_rows,
+        title=f"Construction-kernel phase breakdown, n={PHASE_N}, "
+        f"R={MAX_DEGREE}, L={WIDTH}, 1 worker (best of 3)",
+    )
+    report.add_metadata(
+        phase_breakdown={
+            kern: {
+                "build_s": round(elapsed, 4),
+                "phases_s": {k: round(v, 4) for k, v in phases.items()},
+                "speedup_vs_scalar": round(scalar_elapsed / elapsed, 3),
+            }
+            for kern, (result, elapsed, phases) in phase_runs.items()
+        },
+    )
+
     sweep_workers = min(4, os.cpu_count() or 1)
     cap_rows = []
     for cap in ROUND_CAPS:
@@ -126,12 +201,39 @@ def test_parallel_build_scaling():
             f"{workers}-worker build produced different edges"
         )
 
-    # the kernel backends' round searches are bit-identical to the scalar
-    # reference, so the built graph is too
-    scalar_result, _ = _build(data, 1, kernel="scalar")
-    assert scalar_result.distance_calls == base_result.distance_calls
-    assert _edge_fingerprint(scalar_result.graph) == base_fingerprint, (
-        "scalar-kernel build produced different edges than the default kernel"
+    # every construction-kernel backend is bit-identical to the scalar
+    # reference — graph edges and distance charges alike (unconditional)
+    for kern in KERNELS:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            kern_result, _ = _build(data, 1, kernel=kern)
+        assert kern_result.distance_calls == base_result.distance_calls, (
+            f"kernel={kern} build charged {kern_result.distance_calls} "
+            f"distance calls, default kernel {base_result.distance_calls}"
+        )
+        assert _edge_fingerprint(kern_result.graph) == base_fingerprint, (
+            f"kernel={kern} build produced different edges"
+        )
+    phase_fps = {
+        kern: (
+            _edge_fingerprint(result.graph),
+            result.distance_calls,
+        )
+        for kern, (result, _, _) in phase_runs.items()
+    }
+    assert phase_fps["python"] == phase_fps["scalar"], (
+        "python kernel diverged from scalar at the phase-breakdown point"
+    )
+    assert phase_fps["numba"] == phase_fps["scalar"], (
+        "numba kernel diverged from scalar at the phase-breakdown point"
+    )
+
+    # the batched construction kernels must at least double single-worker
+    # build throughput over the scalar reference at n=1000/R=12/L=32
+    python_elapsed = phase_runs["python"][1]
+    assert scalar_elapsed >= 2.0 * python_elapsed, (
+        f"python-kernel build took {python_elapsed:.2f}s, not >=2x faster "
+        f"than the scalar reference's {scalar_elapsed:.2f}s"
     )
 
     # the throughput claim needs cores to scale onto

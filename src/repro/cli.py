@@ -66,16 +66,26 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _supports_build_workers(method: str) -> bool:
-    """Whether a method's constructor accepts ``n_workers`` (II-based builds)."""
+def _ctor_accepts(method: str, param: str) -> bool:
+    """Whether a method's constructor accepts the named parameter."""
     import inspect
 
     from .indexes import METHOD_REGISTRY
 
     try:
-        return "n_workers" in inspect.signature(METHOD_REGISTRY[method]).parameters
+        return param in inspect.signature(METHOD_REGISTRY[method]).parameters
     except (TypeError, ValueError):
         return False
+
+
+def _supports_build_workers(method: str) -> bool:
+    """Whether a method's constructor accepts ``n_workers`` (II-based builds)."""
+    return _ctor_accepts(method, "n_workers")
+
+
+def _supports_build_kernel(method: str) -> bool:
+    """Whether a method's build routes through the construction kernels."""
+    return _ctor_accepts(method, "kernel")
 
 
 def _cmd_demo(args) -> int:
@@ -111,6 +121,11 @@ def _cmd_demo(args) -> int:
                 f"note: {args.method} has no parallel builder; "
                 "constructing sequentially"
             )
+    # --kernel selects the construction-kernel backend for the build too
+    # (bit-identical graphs by contract); methods without batched
+    # construction ignore it and build on the reference path
+    if args.kernel is not None and _supports_build_kernel(args.method):
+        index_params["kernel"] = args.kernel
     index = create_index(args.method, **index_params).build(data)
     print(
         f"built {index.name} on {args.dataset} (n={args.n}): "
@@ -316,9 +331,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=["auto", "python", "numba", "scalar"],
         default=None,
-        help="beam-search backend for queries (default: $REPRO_KERNEL, else "
-        "auto). All backends return bit-identical answers and distance "
-        "counts; 'scalar' is the per-query reference loop",
+        help="kernel backend for queries AND, where supported, the index "
+        "build (batched diversification + NN-descent; default: "
+        "$REPRO_KERNEL, else auto). All backends return bit-identical "
+        "graphs, answers, and distance counts; 'scalar' is the per-query / "
+        "per-node reference loop",
     )
     demo.add_argument(
         "--filter-specificity",

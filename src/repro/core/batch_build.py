@@ -157,6 +157,7 @@ def build_ii_graph_batched(
     max_round_size: int | None = None,
     min_parallel_round: int = 32,
     kernel: str | None = None,
+    phase_times: dict | None = None,
 ):
     """Build the II graph in prefix-doubling rounds, optionally in parallel.
 
@@ -175,14 +176,26 @@ def build_ii_graph_batched(
         available — fan-out overhead dominates tiny rounds, and the result
         is identical either way.
     kernel:
-        Beam backend for the per-round candidate searches (``scalar`` /
-        ``python`` / ``numba`` / ``auto``; ``None`` defers to
-        ``$REPRO_KERNEL``).  Backends are bit-identical, so the constructed
-        graph does not depend on this choice.
+        Construction-kernel backend (``scalar`` / ``python`` / ``numba`` /
+        ``auto``; ``None`` defers to ``$REPRO_KERNEL``).  Selects both the
+        beam kernel of the per-round candidate searches and the batched
+        diversification kernels (:mod:`repro.core.build_kernels`) used for
+        the round's primary prunes and overflow re-prunes.  Backends are
+        bit-identical, so the constructed graph, prune stats, and distance
+        accounting do not depend on this choice.
+    phase_times:
+        Optional dict the builder fills with cumulative wall-clock seconds
+        per phase: ``search`` (candidate beam searches), ``prune``
+        (diversification + overflow re-prunes), ``merge`` (edge merging and
+        seed-provider upkeep).  This is the per-phase breakdown
+        ``bench_parallel_build.py`` reports.
 
     Returns an :class:`~repro.core.incremental.IIBuildResult`.
     """
+    from time import perf_counter
+
     from .incremental import IIBuildResult, RandomBuildSeeds, _prune_with_stats
+    from .kernels import resolve_backend
 
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -200,6 +213,13 @@ def build_ii_graph_batched(
         bare = None
     if build_seeds is None:
         build_seeds = RandomBuildSeeds()
+    use_batched = bare is not None and resolve_backend(kernel) != "scalar"
+    if use_batched:
+        from .build_kernels import diversify_many, prune_merged_many
+    if phase_times is not None:
+        for key in ("search", "prune", "merge"):
+            phase_times.setdefault(key, 0.0)
+    t_search = t_prune = t_merge = 0.0
     mark = computer.checkpoint()
     if insertion_order is None:
         insertion_order = rng.permutation(n)
@@ -241,6 +261,7 @@ def build_ii_graph_batched(
             width = min(beam_width, max(8, prefix))
             k = min(width, prefix)
 
+            t0 = perf_counter()
             if n_workers > 1 and len(nodes) >= min_parallel_round:
                 if pool is None:
                     pool, data_pack = _start_pool(computer, n_workers)
@@ -256,36 +277,86 @@ def build_ii_graph_batched(
                         kernel, visited_mask=scratch,
                     )
                 ]
+            t_search += perf_counter() - t0
+
+            # primary diversifications depend only on the round's frozen
+            # searches, never on the merge state, so the whole round prunes
+            # in one batched call (counter sums commute: same totals as the
+            # interleaved per-node order)
+            t0 = perf_counter()
+            if use_batched:
+                kept_per_node = diversify_many(
+                    computer, searches, max_degree, diversify,
+                    params=params, backend=kernel,
+                )
+            else:
+                kept_per_node = [
+                    diversifier(computer, cand_ids, cand_dists, max_degree)
+                    for cand_ids, cand_dists in searches
+                ]
+            t_prune += perf_counter() - t0
 
             # deterministic merge: one sequential pass in insertion-rank order
-            for node, node_rng, (cand_ids, cand_dists) in zip(
-                nodes, rngs, searches
-            ):
-                kept = diversifier(computer, cand_ids, cand_dists, max_degree)
+            # (overflow-prune time inside the loop is charged to the prune
+            # phase, not the merge phase)
+            t0 = perf_counter()
+            t_overflow = 0.0
+            for node, node_rng, kept in zip(nodes, rngs, kept_per_node):
                 graph.set_neighbors(node, kept)
-                for nbr in kept:
-                    nbr = int(nbr)
-                    merged = np.concatenate([graph.neighbors(nbr), [node]])
-                    if prune_overflow and merged.size > max_degree:
-                        dists_nbr = computer.one_to_many(nbr, merged)
-                        if track_pruning:
-                            merged = _prune_with_stats(
-                                diversifier, bare, params, computer, merged,
-                                dists_nbr, max_degree, prune_stats,
-                            )
+                if use_batched:
+                    overflow_owners: list[int] = []
+                    overflow_merged: list[np.ndarray] = []
+                    for nbr in kept:
+                        nbr = int(nbr)
+                        merged = np.concatenate([graph.neighbors(nbr), [node]])
+                        if prune_overflow and merged.size > max_degree:
+                            overflow_owners.append(nbr)
+                            overflow_merged.append(merged)
                         else:
-                            merged = diversifier(
-                                computer, merged, dists_nbr, max_degree
-                            )
-                    graph.set_neighbors(nbr, merged)
+                            graph.set_neighbors(nbr, merged)
+                    if overflow_owners:
+                        tp = perf_counter()
+                        pruned = prune_merged_many(
+                            computer, overflow_owners, overflow_merged,
+                            max_degree, diversify, params=params,
+                            stats=prune_stats if track_pruning else None,
+                            backend=kernel,
+                        )
+                        t_overflow += perf_counter() - tp
+                        for nbr, kept_nbr in zip(overflow_owners, pruned):
+                            graph.set_neighbors(nbr, kept_nbr)
+                else:
+                    for nbr in kept:
+                        nbr = int(nbr)
+                        merged = np.concatenate([graph.neighbors(nbr), [node]])
+                        if prune_overflow and merged.size > max_degree:
+                            tp = perf_counter()
+                            dists_nbr = computer.one_to_many(nbr, merged)
+                            if track_pruning:
+                                merged = _prune_with_stats(
+                                    diversifier, bare, params, computer,
+                                    merged, dists_nbr, max_degree, prune_stats,
+                                )
+                            else:
+                                merged = diversifier(
+                                    computer, merged, dists_nbr, max_degree
+                                )
+                            t_overflow += perf_counter() - tp
+                        graph.set_neighbors(nbr, merged)
                 inserted.append(node)
                 build_seeds.on_insert(node, computer, node_rng)
+            t_prune += t_overflow
+            t_merge += perf_counter() - t0 - t_overflow
     finally:
         if pool is not None:
             pool.close()
             pool.join()
         if data_pack is not None:
             data_pack.unlink()
+    if phase_times is not None:
+        phase_times["search"] += t_search
+        phase_times["prune"] += t_prune
+        phase_times["merge"] += t_merge
     result.distance_calls = computer.since(mark)
     return result
 

@@ -147,6 +147,7 @@ class DistanceComputer:
         seg_stops: np.ndarray,
         queries64,
         q_sqs,
+        count: bool = True,
     ) -> np.ndarray:
         """Distances for a batch of queries' candidate segments (counted once).
 
@@ -162,9 +163,17 @@ class DistanceComputer:
         differently, which would break the kernel's bit-identity contract
         with the scalar reference path), with the elementwise norm algebra
         applied across the whole concatenation.
+
+        ``count=False`` skips the accounting without changing a single bit of
+        the arithmetic.  The batched construction kernels use it to precompute
+        candidate-pair distance matrices *speculatively*, then charge the
+        counter during replay for exactly the entries the scalar selection
+        loop would have inspected — so the paper's distance accounting stays
+        exact even though more distances were physically evaluated.
         """
         ids = np.asarray(ids, dtype=np.intp)
-        self.count += ids.size
+        if count:
+            self.count += ids.size
         # one gather for the whole batch: a contiguous slice of the gathered
         # rows feeds each segment's GEMV with bitwise-identical results to a
         # fresh per-segment gather, at a fraction of the indexing overhead
@@ -198,12 +207,15 @@ class DistanceComputer:
         ids: np.ndarray,
         seg_starts: np.ndarray,
         seg_stops: np.ndarray,
+        count: bool = True,
     ) -> np.ndarray:
         """Segmented :meth:`one_to_many`: batch variant for dataset-point queries.
 
         Segment ``j`` of ``ids`` is scored against dataset point
         ``point_ids[j]``, with cached squared norms covering both sides.
         Bit-identical per segment to ``one_to_many(point_ids[j], segment)``.
+        ``count=False`` is the speculative-precompute mode (see
+        :meth:`to_queries_segmented`).
         """
         point_ids = np.asarray(point_ids, dtype=np.intp)
         return self.to_queries_segmented(
@@ -212,6 +224,7 @@ class DistanceComputer:
             seg_stops,
             self._data64[point_ids],
             self._sq_norms[point_ids],
+            count=count,
         )
 
     def one_to_query(self, i: int, query: np.ndarray) -> float:

@@ -218,9 +218,11 @@ def get_diversifier(name: str, **params) -> Diversifier:
     if not params:
         return base
 
-    def bound(computer, cand_ids, cand_dists, max_degree):
+    def bound(computer, cand_ids, cand_dists, max_degree, stats=None):
         """The strategy with its extra parameters pre-bound."""
-        return base(computer, cand_ids, cand_dists, max_degree, **params)
+        return base(
+            computer, cand_ids, cand_dists, max_degree, stats=stats, **params
+        )
 
     bound.__name__ = f"{key}_bound"
     return bound

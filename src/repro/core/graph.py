@@ -235,6 +235,44 @@ class Graph:
         return graph
 
     @classmethod
+    def from_neighbor_matrix(cls, ids: np.ndarray) -> "Graph":
+        """Build a graph from an ``(n, k)`` neighbor-id matrix in one pass.
+
+        Row ``i`` becomes node ``i``'s adjacency list with exactly the
+        :meth:`set_neighbors` semantics — self-loops dropped, duplicates
+        removed keeping the first occurrence, original order preserved —
+        but computed for all rows at once (one stable argsort + boolean
+        scatter) instead of ``n`` Python-level calls.  This is the bulk
+        constructor the NNDescent-based builds (KGraph/EFANNA/IEH) use to
+        wrap their refined k-NN lists.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError(f"neighbor matrix must be 2-D, got shape {ids.shape}")
+        n, k = ids.shape
+        if n == 0 or k == 0:
+            return cls(n)
+        if ids.min() < 0 or ids.max() >= n:
+            raise ValueError(
+                f"neighbor ids span [{int(ids.min())}, {int(ids.max())}], "
+                f"valid range is [0, {n})"
+            )
+        # keep-first dedup per row: stable-sort each row by id, mark the
+        # first occurrence of every run, scatter the mask back to the
+        # original positions
+        order = np.argsort(ids, axis=1, kind="stable")
+        sorted_ids = np.take_along_axis(ids, order, axis=1)
+        first = np.ones((n, k), dtype=bool)
+        first[:, 1:] = sorted_ids[:, 1:] != sorted_ids[:, :-1]
+        keep = np.empty((n, k), dtype=bool)
+        np.put_along_axis(keep, order, first, axis=1)
+        keep &= ids != np.arange(n, dtype=np.int64)[:, None]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(keep.sum(axis=1), out=indptr[1:])
+        # boolean indexing is row-major, so within-row original order survives
+        return cls.from_csr(indptr, ids[keep])
+
+    @classmethod
     def from_neighbor_lists(cls, lists) -> "Graph":
         """Build a graph from an iterable of per-node neighbor iterables."""
         lists = list(lists)

@@ -278,10 +278,15 @@ def build_ii_graph(
         Round-size cap for the batched builder (ignored when ``n_workers``
         is ``None``).
     kernel:
-        Beam-kernel backend for the batched builder's candidate searches
-        (``None`` = ``$REPRO_KERNEL`` = ``auto``; answers are bit-identical
-        across backends).  Ignored when ``n_workers`` is ``None`` — the
-        sequential protocol always runs the scalar reference path.
+        Construction-kernel backend (``None`` = ``$REPRO_KERNEL`` =
+        ``auto``; results are bit-identical across backends).  For the
+        batched builder it selects the beam kernel of the per-round
+        candidate searches *and* the batched diversification kernels.  For
+        the sequential protocol the per-insertion candidate searches stay
+        scalar (each insertion must see the previous one's edges), but the
+        diversification and overflow prunes route through the batched
+        construction kernels (:mod:`repro.core.build_kernels`) — same
+        graph, prune stats, and distance accounting either way.
     """
     if n_workers is not None:
         from .batch_build import build_ii_graph_batched
@@ -315,6 +320,14 @@ def build_ii_graph(
         bare = None
     if build_seeds is None:
         build_seeds = RandomBuildSeeds()
+    # named strategies route through the batched construction kernels unless
+    # the scalar reference backend is pinned; custom callables always run
+    # the per-node path (their internals cannot be replayed over a matrix)
+    from .kernels import resolve_backend
+
+    use_batched = bare is not None and resolve_backend(kernel) != "scalar"
+    if use_batched:
+        from .build_kernels import diversify_many, prune_merged_many
     mark = computer.checkpoint()
     if insertion_order is None:
         insertion_order = rng.permutation(n)
@@ -339,24 +352,58 @@ def build_ii_graph(
             visited_mask=visited_mask,
         )
         cand_ids, cand_dists = result.ids, result.dists
-        kept = diversifier(computer, cand_ids, cand_dists, max_degree)
-        graph.set_neighbors(node, kept)
-        for nbr in kept:
-            nbr = int(nbr)
-            merged = np.concatenate([graph.neighbors(nbr), [node]])
-            if prune_overflow and merged.size > max_degree:
-                dists_nbr = computer.one_to_many(nbr, merged)
+        if use_batched:
+            kept = diversify_many(
+                computer, [(cand_ids, cand_dists)], max_degree, diversify,
+                params=params, backend=kernel,
+            )[0]
+            graph.set_neighbors(node, kept)
+            # one insertion's reverse merges touch pairwise-distinct rows, so
+            # the overflow prunes are independent and batch into one
+            # segmented distance call + replay (bit-identical rows/stats)
+            overflow_owners: list[int] = []
+            overflow_merged: list[np.ndarray] = []
+            for nbr in kept:
+                nbr = int(nbr)
+                merged = np.concatenate([graph.neighbors(nbr), [node]])
+                if prune_overflow and merged.size > max_degree:
+                    overflow_owners.append(nbr)
+                    overflow_merged.append(merged)
+                else:
+                    graph.set_neighbors(nbr, merged)
+            if overflow_owners:
                 # Table 1 measures the pruning ratio here: how much of an
                 # overflowing (R+1-sized) neighbor list the ND predicate
                 # itself removes, beyond what the degree cap would.
-                if track_pruning:
-                    merged = _prune_with_stats(
-                        diversifier, bare, params, computer, merged, dists_nbr,
-                        max_degree, prune_stats,
-                    )
-                else:
-                    merged = diversifier(computer, merged, dists_nbr, max_degree)
-            graph.set_neighbors(nbr, merged)
+                pruned = prune_merged_many(
+                    computer, overflow_owners, overflow_merged, max_degree,
+                    diversify, params=params,
+                    stats=prune_stats if track_pruning else None,
+                    backend=kernel,
+                )
+                for nbr, kept_nbr in zip(overflow_owners, pruned):
+                    graph.set_neighbors(nbr, kept_nbr)
+        else:
+            kept = diversifier(computer, cand_ids, cand_dists, max_degree)
+            graph.set_neighbors(node, kept)
+            for nbr in kept:
+                nbr = int(nbr)
+                merged = np.concatenate([graph.neighbors(nbr), [node]])
+                if prune_overflow and merged.size > max_degree:
+                    dists_nbr = computer.one_to_many(nbr, merged)
+                    # Table 1 measures the pruning ratio here: how much of an
+                    # overflowing (R+1-sized) neighbor list the ND predicate
+                    # itself removes, beyond what the degree cap would.
+                    if track_pruning:
+                        merged = _prune_with_stats(
+                            diversifier, bare, params, computer, merged,
+                            dists_nbr, max_degree, prune_stats,
+                        )
+                    else:
+                        merged = diversifier(
+                            computer, merged, dists_nbr, max_degree
+                        )
+                graph.set_neighbors(nbr, merged)
         inserted.append(node)
         build_seeds.on_insert(node, computer, rng)
     return IIBuildResult(

@@ -55,6 +55,7 @@ from .beam_search import SearchResult, beam_search
 from .distances import DistanceComputer
 from .diversification import PruneCounter, get_diversifier
 from .graph import CSRGraph
+from .kernels import resolve_backend
 from .shared import SharedArrayPack
 
 __all__ = ["StreamingIndex", "ConsolidationReport"]
@@ -100,27 +101,37 @@ def _consolidate_worker_chunk(payload: tuple) -> list[tuple]:
     Runs inside the batched builder's pool (the dataset computer is already
     attached by ``_build_worker_init``); the frozen CSR snapshot and the
     tombstone mask arrive as one shared-memory pack per consolidation pass.
-    Returns ``(node, kept_ids, distance_call_delta)`` per node — per-node
+    Returns ``((node, kept_ids) pairs, distance_call_delta)`` — per-chunk
     deltas sum order-independently, so the parent's aggregate counter
-    matches the in-process pass exactly.
+    matches the in-process pass exactly.  Non-scalar kernels run the whole
+    chunk through the batched construction kernels (bit-identical repairs).
     """
     from .batch_build import _BUILD_WORKER
 
-    csr_specs, nodes, max_degree, diversify, params = payload
+    csr_specs, nodes, max_degree, diversify, params, kernel = payload
     arrays, segments = SharedArrayPack.attach(csr_specs)
     try:
         frozen = CSRGraph(arrays["indptr"], arrays["indices"], validate=False)
         tombstone = arrays["tombstone"]
         computer = _BUILD_WORKER["computer"]
-        diversifier = get_diversifier(diversify, **params)
-        out = []
-        for node in nodes:
-            mark = computer.checkpoint()
-            kept = _repair_node(
-                frozen, computer, tombstone, node, max_degree, diversifier
+        mark = computer.checkpoint()
+        if resolve_backend(kernel) != "scalar":
+            from .build_kernels import prune_merged_many
+
+            cands = [_repair_candidates(frozen, tombstone, n) for n in nodes]
+            kepts = prune_merged_many(
+                computer, list(nodes), cands, max_degree, diversify,
+                params=params, backend=kernel,
             )
-            out.append((node, kept, computer.since(mark)))
-        return out
+        else:
+            diversifier = get_diversifier(diversify, **params)
+            kepts = [
+                _repair_node(
+                    frozen, computer, tombstone, node, max_degree, diversifier
+                )
+                for node in nodes
+            ]
+        return list(zip(nodes, kepts)), computer.since(mark)
     finally:
         for segment in segments:
             segment.close()
@@ -447,28 +458,66 @@ class StreamingIndex(BaseGraphIndex):
         searches = self._frozen_point_searches(
             new_ids.tolist(), seeds_per_node, k, width
         )
-        # sequential rank-ordered merge (the batched builder's second phase)
-        from .incremental import _prune_with_stats
-
-        for node, (cand_ids, cand_dists) in zip(new_ids.tolist(), searches):
-            # masked searches pad to k with (PAD_ID, inf) when tombstones
-            # empty the beam; a sentinel id must never reach the
-            # diversifier (fancy indexing would wrap -1 to the last node)
+        # masked searches pad to k with (PAD_ID, inf) when tombstones
+        # empty the beam; a sentinel id must never reach the
+        # diversifier (fancy indexing would wrap -1 to the last node)
+        cleaned = []
+        for cand_ids, cand_dists in searches:
             live = cand_ids >= 0
-            cand_ids, cand_dists = cand_ids[live], cand_dists[live]
-            kept = self._diversifier(computer, cand_ids, cand_dists, self.max_degree)
-            self.graph.set_neighbors(node, kept)
-            for nbr in kept:
-                nbr = int(nbr)
-                merged = np.concatenate([self.graph.neighbors(nbr), [node]])
-                if merged.size > self.max_degree:
-                    dists_nbr = computer.one_to_many(nbr, merged)
-                    merged = _prune_with_stats(
-                        self._diversifier, self._bare_diversifier,
-                        self.diversify_params, computer, merged, dists_nbr,
-                        self.max_degree, self.prune_stats,
+            cleaned.append((cand_ids[live], cand_dists[live]))
+
+        use_batched = resolve_backend(self.kernel) != "scalar"
+        if use_batched:
+            from .build_kernels import diversify_many, prune_merged_many
+
+            # the primary prunes depend only on the frozen searches, so the
+            # whole batch reduces to one lockstep kernel call; reverse-merge
+            # overflow prunes batch per insertion (rows pairwise distinct)
+            kept_per_node = diversify_many(
+                computer, cleaned, self.max_degree, self.diversify,
+                params=self.diversify_params, backend=self.kernel,
+            )
+            for node, kept in zip(new_ids.tolist(), kept_per_node):
+                self.graph.set_neighbors(node, kept)
+                overflow_owners: list[int] = []
+                overflow_merged: list[np.ndarray] = []
+                for nbr in kept:
+                    nbr = int(nbr)
+                    merged = np.concatenate([self.graph.neighbors(nbr), [node]])
+                    if merged.size > self.max_degree:
+                        overflow_owners.append(nbr)
+                        overflow_merged.append(merged)
+                    else:
+                        self.graph.set_neighbors(nbr, merged)
+                if overflow_owners:
+                    pruned = prune_merged_many(
+                        computer, overflow_owners, overflow_merged,
+                        self.max_degree, self.diversify,
+                        params=self.diversify_params, stats=self.prune_stats,
+                        backend=self.kernel,
                     )
-                self.graph.set_neighbors(nbr, merged)
+                    for nbr, kept_nbr in zip(overflow_owners, pruned):
+                        self.graph.set_neighbors(nbr, kept_nbr)
+        else:
+            # sequential rank-ordered merge (the batched builder's 2nd phase)
+            from .incremental import _prune_with_stats
+
+            for node, (cand_ids, cand_dists) in zip(new_ids.tolist(), cleaned):
+                kept = self._diversifier(
+                    computer, cand_ids, cand_dists, self.max_degree
+                )
+                self.graph.set_neighbors(node, kept)
+                for nbr in kept:
+                    nbr = int(nbr)
+                    merged = np.concatenate([self.graph.neighbors(nbr), [node]])
+                    if merged.size > self.max_degree:
+                        dists_nbr = computer.one_to_many(nbr, merged)
+                        merged = _prune_with_stats(
+                            self._diversifier, self._bare_diversifier,
+                            self.diversify_params, computer, merged, dists_nbr,
+                            self.max_degree, self.prune_stats,
+                        )
+                    self.graph.set_neighbors(nbr, merged)
         self._on_mutation()
         return new_ids
 
@@ -566,6 +615,7 @@ class StreamingIndex(BaseGraphIndex):
                             self.max_degree,
                             self.diversify,
                             self.diversify_params,
+                            self.kernel,
                         )
                         for chunk in bounds
                         if chunk.size
@@ -579,12 +629,24 @@ class StreamingIndex(BaseGraphIndex):
                 data_pack.unlink()
             repairs: list[tuple] = []
             delta_total = 0
-            for chunk in chunk_results:
-                for node, kept, delta in chunk:
-                    repairs.append((node, kept))
-                    delta_total += delta
+            for pairs, delta in chunk_results:
+                repairs.extend(pairs)
+                delta_total += delta
             self.computer.count += delta_total
             return repairs
+        if resolve_backend(self.kernel) != "scalar":
+            from .build_kernels import prune_merged_many
+
+            cands = [
+                _repair_candidates(self.graph, self._tombstone, node)
+                for node in affected
+            ]
+            kepts = prune_merged_many(
+                self.computer, affected, cands, self.max_degree,
+                self.diversify, params=self.diversify_params,
+                backend=self.kernel,
+            )
+            return list(zip(affected, kepts))
         return [
             (
                 node,

@@ -37,6 +37,7 @@ class DPGIndex(BaseGraphIndex):
         n_query_seeds: int = 16,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         self.k_neighbors = k_neighbors
@@ -44,24 +45,44 @@ class DPGIndex(BaseGraphIndex):
         self.theta_degrees = theta_degrees
         self.max_iterations = max_iterations
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``);
+        #: bit-identical graph at every backend
+        self.kernel = kernel
 
     def _build(self, rng: np.random.Generator) -> None:
+        from ..core.kernels import resolve_backend
+
         computer = self.computer
         # candidate lists of size 2k, as in the original design
         k_base = min(2 * self.k_neighbors, computer.n - 1)
         result = nn_descent(
-            computer, k=k_base, rng=rng, max_iterations=self.max_iterations
+            computer, k=k_base, rng=rng, max_iterations=self.max_iterations,
+            backend=self.kernel,
         )
-        if self.diversify == "mond":
-            diversifier = get_diversifier("mond", theta_degrees=self.theta_degrees)
-        else:
-            diversifier = get_diversifier(self.diversify)
+        params = (
+            {"theta_degrees": self.theta_degrees}
+            if self.diversify == "mond"
+            else None
+        )
         graph = Graph(computer.n)
-        for node in range(computer.n):
-            kept = diversifier(
-                computer, result.ids[node], result.dists[node], self.k_neighbors
+        if resolve_backend(self.kernel) != "scalar":
+            from ..core.build_kernels import diversify_many
+
+            kept_per_node = diversify_many(
+                computer,
+                [(result.ids[node], result.dists[node]) for node in range(computer.n)],
+                self.k_neighbors, self.diversify,
+                params=params, backend=self.kernel,
             )
-            graph.set_neighbors(node, kept)
+            for node, kept in enumerate(kept_per_node):
+                graph.set_neighbors(node, kept)
+        else:
+            diversifier = get_diversifier(self.diversify, **(params or {}))
+            for node in range(computer.n):
+                kept = diversifier(
+                    computer, result.ids[node], result.dists[node], self.k_neighbors
+                )
+                graph.set_neighbors(node, kept)
         graph.make_undirected()
         self.graph = graph
 

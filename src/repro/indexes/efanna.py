@@ -32,6 +32,7 @@ class EFANNAIndex(BaseGraphIndex):
         n_query_seeds: int = 24,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         self.k_neighbors = k_neighbors
@@ -39,18 +40,32 @@ class EFANNAIndex(BaseGraphIndex):
         self.leaf_size = leaf_size
         self.max_iterations = max_iterations
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``);
+        #: bit-identical graph at every backend
+        self.kernel = kernel
         self._forest: KDForest | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
+        from ..core.kernels import resolve_backend
+
         computer = self.computer
         self._forest = KDForest.build(
             computer.data, self.n_trees, self.leaf_size, rng
         )
         k = min(self.k_neighbors, computer.n - 1)
         init_ids = self._forest.initial_neighbor_lists(computer.n, k, rng)
-        init_dists = np.empty_like(init_ids, dtype=np.float64)
-        for node in range(computer.n):
-            init_dists[node] = computer.one_to_many(node, init_ids[node])
+        if resolve_backend(self.kernel) != "scalar":
+            # one segmented call; row r holds exactly the per-node scalar
+            # call's ids, so distances and charging are bit-identical
+            n = computer.n
+            stops = np.arange(1, n + 1, dtype=np.int64) * k
+            init_dists = computer.points_to_many_segmented(
+                np.arange(n, dtype=np.int64), init_ids.ravel(), stops - k, stops
+            ).reshape(n, k)
+        else:
+            init_dists = np.empty_like(init_ids, dtype=np.float64)
+            for node in range(computer.n):
+                init_dists[node] = computer.one_to_many(node, init_ids[node])
         result = nn_descent(
             computer,
             k=k,
@@ -58,6 +73,7 @@ class EFANNAIndex(BaseGraphIndex):
             init_ids=init_ids,
             init_dists=init_dists,
             max_iterations=self.max_iterations,
+            backend=self.kernel,
         )
         self.graph = knn_graph_to_graph(result.ids)
         self._knn_ids = result.ids

@@ -31,6 +31,7 @@ class HNSWIndex(BaseGraphIndex):
         seed: int = 0,
         default_beam_width: int = 64,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         if max_degree < 2:
@@ -39,6 +40,9 @@ class HNSWIndex(BaseGraphIndex):
         self.ef_construction = ef_construction
         self.layer_max_degree = layer_max_degree
         self.n_workers = n_workers
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``);
+        #: bit-identical graph at every backend
+        self.kernel = kernel
         self._stack: StackedNSWBuildSeeds | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
@@ -55,6 +59,7 @@ class HNSWIndex(BaseGraphIndex):
             build_seeds=stack,
             track_pruning=False,
             n_workers=self.n_workers,
+            kernel=self.kernel,
         )
         self.graph = result.graph
         self._stack = stack

@@ -32,11 +32,15 @@ class IEHIndex(BaseGraphIndex):
         n_query_seeds: int = 16,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         self.k_neighbors = k_neighbors
         self.max_iterations = max_iterations
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``);
+        #: bit-identical graph at every backend
+        self.kernel = kernel
         self._lsh = LSHIndex(n_tables=n_tables, n_projections=n_projections)
 
     def _build(self, rng: np.random.Generator) -> None:
@@ -68,6 +72,7 @@ class IEHIndex(BaseGraphIndex):
             init_ids=init_ids,
             init_dists=init_dists,
             max_iterations=self.max_iterations,
+            backend=self.kernel,
         )
         self.graph = knn_graph_to_graph(result.ids)
 

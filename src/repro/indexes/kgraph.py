@@ -32,6 +32,7 @@ class KGraphIndex(BaseGraphIndex):
         n_query_seeds: int = 16,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         if k_neighbors < 1:
@@ -40,6 +41,9 @@ class KGraphIndex(BaseGraphIndex):
         self.max_iterations = max_iterations
         self.sample_rate = sample_rate
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``);
+        #: bit-identical graph at every backend
+        self.kernel = kernel
 
     def _build(self, rng: np.random.Generator) -> None:
         result = nn_descent(
@@ -48,6 +52,7 @@ class KGraphIndex(BaseGraphIndex):
             rng=rng,
             max_iterations=self.max_iterations,
             sample_rate=self.sample_rate,
+            backend=self.kernel,
         )
         self.graph = knn_graph_to_graph(result.ids)
 

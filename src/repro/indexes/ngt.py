@@ -33,6 +33,7 @@ class NGTIndex(BaseGraphIndex):
         n_query_seeds: int = 12,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         self.k_neighbors = k_neighbors
@@ -40,24 +41,47 @@ class NGTIndex(BaseGraphIndex):
         self.max_iterations = max_iterations
         self.vp_leaf_size = vp_leaf_size
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``);
+        #: bit-identical graph at every backend
+        self.kernel = kernel
         self._vptree: VPTree | None = None
 
     def _build(self, rng: np.random.Generator) -> None:
+        from ..core.kernels import resolve_backend
+
         computer = self.computer
         k = min(self.k_neighbors, computer.n - 1)
         result = nn_descent(
-            computer, k=k, rng=rng, max_iterations=self.max_iterations
+            computer, k=k, rng=rng, max_iterations=self.max_iterations,
+            backend=self.kernel,
         )
         graph = Graph(computer.n)
         for node in range(computer.n):
             graph.set_neighbors(node, result.ids[node])
         # bi-direct, then prune dense neighborhoods back with RND
         graph.make_undirected()
-        for node in range(computer.n):
-            nbrs = graph.neighbors(node)
-            if nbrs.size > self.max_degree:
-                dists = computer.one_to_many(node, nbrs)
-                graph.set_neighbors(node, rnd(computer, nbrs, dists, self.max_degree))
+        if resolve_backend(self.kernel) != "scalar":
+            from ..core.build_kernels import prune_merged_many
+
+            owners = [
+                node
+                for node in range(computer.n)
+                if graph.neighbors(node).size > self.max_degree
+            ]
+            pruned = prune_merged_many(
+                computer, owners, [graph.neighbors(o) for o in owners],
+                self.max_degree, "rnd", backend=self.kernel,
+            )
+            for node, kept in zip(owners, pruned):
+                graph.set_neighbors(node, kept)
+        else:
+            for node in range(computer.n):
+                nbrs = graph.neighbors(node)
+                if nbrs.size > self.max_degree:
+                    dists = computer.one_to_many(node, nbrs)
+                    graph.set_neighbors(
+                        node, rnd(computer, nbrs, dists, self.max_degree)
+                    )
         self.graph = graph
         self._vptree = VPTree.build(computer.data, self.vp_leaf_size, rng)
 

@@ -42,6 +42,7 @@ class NSGIndex(BaseGraphIndex):
         n_query_seeds: int = 16,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         self.max_degree = max_degree
@@ -50,6 +51,8 @@ class NSGIndex(BaseGraphIndex):
         self.efanna_k = efanna_k
         self.efanna_trees = efanna_trees
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend for the EFANNA base build
+        self.kernel = kernel
         self.medoid: int | None = None
         self._base_index: EFANNAIndex | None = None
         #: peak auxiliary bytes held during construction (Figure 8's gap
@@ -62,6 +65,7 @@ class NSGIndex(BaseGraphIndex):
             k_neighbors=self.efanna_k,
             n_trees=self.efanna_trees,
             seed=self.seed,
+            kernel=self.kernel,
         )
         # share the computer so base-graph work is charged to this build
         base.computer = computer

@@ -33,6 +33,7 @@ class NSWIndex(BaseGraphIndex):
         seed: int = 0,
         default_beam_width: int = 64,
         n_workers: int | None = None,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         if m_connections < 1:
@@ -41,6 +42,8 @@ class NSWIndex(BaseGraphIndex):
         self.ef_construction = ef_construction
         self.n_query_seeds = n_query_seeds
         self.n_workers = n_workers
+        #: construction-kernel backend (``None`` = ``$REPRO_KERNEL``)
+        self.kernel = kernel
 
     def _build(self, rng: np.random.Generator) -> None:
         # NSW never prunes: reverse edges accumulate and early edges
@@ -54,6 +57,7 @@ class NSWIndex(BaseGraphIndex):
             track_pruning=False,
             prune_overflow=False,
             n_workers=self.n_workers,
+            kernel=self.kernel,
         )
         self.graph = result.graph
 

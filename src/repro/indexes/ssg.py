@@ -38,6 +38,7 @@ class SSGIndex(BaseGraphIndex):
         n_query_seeds: int = 16,
         seed: int = 0,
         default_beam_width: int = 64,
+        kernel: str | None = None,
     ):
         super().__init__(seed, default_beam_width)
         self.max_degree = max_degree
@@ -46,6 +47,8 @@ class SSGIndex(BaseGraphIndex):
         self.efanna_trees = efanna_trees
         self.n_repair_roots = n_repair_roots
         self.n_query_seeds = n_query_seeds
+        #: construction-kernel backend for the EFANNA base build
+        self.kernel = kernel
         self.peak_build_bytes = 0
 
     def _build(self, rng: np.random.Generator) -> None:
@@ -54,6 +57,7 @@ class SSGIndex(BaseGraphIndex):
             k_neighbors=self.efanna_k,
             n_trees=self.efanna_trees,
             seed=self.seed,
+            kernel=self.kernel,
         )
         base.computer = computer
         base._build(rng)

@@ -201,3 +201,29 @@ def test_graph_set_neighbors_keeps_caller_array_writable():
     g.set_neighbors(0, mine)
     mine[0] = 2  # caller's own array is untouched by the freeze
     assert g.neighbors(0).tolist() == [1, 2]
+
+
+def test_from_neighbor_matrix_matches_set_neighbors():
+    rng = np.random.default_rng(0)
+    n, k = 50, 7
+    ids = rng.integers(0, n, size=(n, k))  # duplicates + self-loops likely
+    bulk = Graph.from_neighbor_matrix(ids)
+    ref = Graph(n)
+    for node in range(n):
+        ref.set_neighbors(node, ids[node])
+    for node in range(n):
+        np.testing.assert_array_equal(bulk.neighbors(node), ref.neighbors(node))
+
+
+def test_from_neighbor_matrix_validates():
+    with pytest.raises(ValueError):
+        Graph.from_neighbor_matrix(np.zeros(5, dtype=np.int64))
+    with pytest.raises(ValueError):
+        Graph.from_neighbor_matrix(np.array([[0, 3], [1, 0]]))  # 3 >= n
+    with pytest.raises(ValueError):
+        Graph.from_neighbor_matrix(np.array([[-1, 0], [1, 0]]))
+
+
+def test_from_neighbor_matrix_empty():
+    g = Graph.from_neighbor_matrix(np.empty((0, 0), dtype=np.int64))
+    assert g.n == 0

@@ -116,3 +116,68 @@ def test_knn_graph_to_graph(computer):
     graph = knn_graph_to_graph(result.ids)
     assert graph.n == 120
     assert graph.degree(0) == 6
+
+# ---------------------------------------------------------------------------
+# backend parity: the vectorized Jacobi iteration must replay the scalar
+# reference bit-for-bit (ids, dists, iteration count, updates, charges)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sample_rate", [1.0, 0.5])
+def test_nn_descent_backend_parity(computer, sample_rate):
+    runs = {}
+    for backend in ("scalar", "python", "numba"):
+        import warnings
+
+        comp = DistanceComputer(computer.data.copy())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = nn_descent(
+                comp, 6, np.random.default_rng(9), max_iterations=5,
+                sample_rate=sample_rate, backend=backend,
+            )
+        runs[backend] = (
+            result.ids.tobytes(), result.dists.tobytes(),
+            result.iterations, tuple(result.updates), comp.count,
+        )
+    assert runs["python"] == runs["scalar"]
+    assert runs["numba"] == runs["scalar"]
+
+
+def test_random_init_backend_parity(computer):
+    import warnings
+
+    runs = {}
+    for backend in ("scalar", "python"):
+        comp = DistanceComputer(computer.data.copy())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ids, dists = random_knn_init(
+                comp, 5, np.random.default_rng(2), backend=backend
+            )
+        runs[backend] = (ids.tobytes(), dists.tobytes(), comp.count)
+    assert runs["python"] == runs["scalar"]
+
+
+def test_pad_init_never_duplicates():
+    """Regression: the old ``np.resize`` fallback tiled neighbor ids when a
+    node's sampled pool came up short, silently seeding NN-descent with
+    duplicate edges."""
+    # tiny n relative to k forces the pad path to exhaust + top-up
+    gen = np.random.default_rng(0)
+    data = gen.normal(size=(9, 3)).astype(np.float32)
+    comp = DistanceComputer(data)
+    for seed in range(30):
+        ids, _ = random_knn_init(comp, 7, np.random.default_rng(seed))
+        for node in range(9):
+            row = ids[node]
+            assert len(set(row.tolist())) == 7, f"dup ids for node {node}"
+            assert node not in row
+
+
+def test_pad_init_rejects_k_ge_n():
+    gen = np.random.default_rng(0)
+    data = gen.normal(size=(6, 3)).astype(np.float32)
+    comp = DistanceComputer(data)
+    with pytest.raises(ValueError):
+        random_knn_init(comp, 6, np.random.default_rng(0))
